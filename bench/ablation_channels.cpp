@@ -1,0 +1,46 @@
+// Ablation: regulatory channel plans.
+//
+// The paper's reader hops 10 channels with 0.2 s dwell (Hong Kong band);
+// FCC deployments hop 50 channels with up to 0.4 s dwell. More channels
+// mean much longer channel revisits (~20 s vs ~2 s), which stresses the
+// preprocessor's slow-stream fallback path; longer dwells give more
+// within-dwell pairs per visit, which helps the strict path.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "experiments/runner.hpp"
+
+using namespace tagbreathe;
+
+int main() {
+  bench::print_header("Ablation", "Channel plan: paper 10-ch vs FCC 50-ch");
+
+  constexpr int kTrials = 5;
+  common::ConsoleTable table({"plan", "contending", "accuracy",
+                              "err [bpm]", "monitor reads/s"});
+  for (int contending : {0, 20}) {
+    for (const bool us : {false, true}) {
+      experiments::ScenarioConfig cfg;
+      cfg.distance_m = 2.0;
+      cfg.contending_tags = contending;
+      cfg.us_channel_plan = us;
+      cfg.seed = 8200 + static_cast<std::uint64_t>(contending) +
+                 (us ? 13 : 0);
+      const auto agg = experiments::run_trials(cfg, kTrials);
+      const auto plan = us ? rfid::ChannelPlan::us_plan()
+                           : rfid::ChannelPlan::paper_plan();
+      table.add_row({plan.region() + " (" +
+                         std::to_string(plan.channel_count()) + " ch, " +
+                         common::fmt(plan.dwell_s(), 1) + " s dwell)",
+                     std::to_string(contending),
+                     common::fmt(agg.accuracy.mean(), 3),
+                     common::fmt(agg.error_bpm.mean(), 2),
+                     common::fmt(agg.monitor_read_rate_hz.mean(), 1)});
+    }
+  }
+  table.print();
+  std::printf("(uncontended: both plans give abundant within-dwell pairs;\n"
+              " contended: the 50-ch plan's ~20 s revisits starve the\n"
+              " fallback path harder than the paper plan's ~2 s)\n");
+  return 0;
+}

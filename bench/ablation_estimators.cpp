@@ -1,0 +1,165 @@
+// Ablation: estimator and filter design choices (DESIGN.md Sec. 5,
+// items 2/3/4) plus the RSSI/Doppler baselines of Sec. IV-A.
+//
+//  - zero-crossing over LPF (the paper's estimator) vs raw FFT peak
+//    (rejected for its 1/w resolution) vs interpolated FFT peak,
+//  - FFT low-pass vs FIR low-pass (the paper's stated alternative),
+//  - adaptive band on/off (this implementation's robustness extension),
+//  - M (buffered crossings) sweep around the paper's 7,
+//  - RSSI-based and Doppler-based extraction baselines.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/baselines.hpp"
+#include "core/metrics.hpp"
+#include "core/rate_estimator.hpp"
+#include "experiments/runner.hpp"
+
+using namespace tagbreathe;
+
+namespace {
+
+/// Short-window scenario (25 s) where the 1/w quantisation bites.
+experiments::ScenarioConfig short_window_cfg(double rate_bpm,
+                                             std::uint64_t seed) {
+  experiments::ScenarioConfig cfg;
+  cfg.duration_s = 25.0;
+  experiments::UserSpec user;
+  user.rate_bpm = rate_bpm;
+  cfg.users = {user};
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation", "Estimators, filters and baselines");
+
+  constexpr int kTrials = 5;
+  const double rates[] = {7.0, 11.0, 13.0, 17.0};
+
+  std::printf("\n[A] zero-crossing vs FFT peak (25 s windows -> 2.4 bpm bins)\n");
+  common::ConsoleTable ta(
+      {"true bpm", "zero-crossing", "fft raw bin", "fft interpolated"});
+  for (double rate : rates) {
+    common::RunningStats zc_err, raw_err, interp_err;
+    for (int t = 0; t < kTrials; ++t) {
+      experiments::Scenario scenario(
+          short_window_cfg(rate, 7300 + static_cast<std::uint64_t>(rate) +
+                                     static_cast<std::uint64_t>(t) * 101));
+      const auto reads = scenario.run();
+      core::BreathMonitor monitor;
+      const auto analyses = monitor.analyze(reads);
+      if (analyses.empty()) continue;
+      const auto& a = analyses[0];
+      zc_err.add(core::rate_error_bpm(a.rate.rate_bpm, rate));
+      core::FftPeakConfig raw;
+      raw.raw_bin = true;
+      raw_err.add(core::rate_error_bpm(
+          core::fft_peak_rate_bpm(a.fused_track, a.track_rate_hz, raw),
+          rate));
+      core::FftPeakConfig interp;
+      interp.raw_bin = false;
+      interp_err.add(core::rate_error_bpm(
+          core::fft_peak_rate_bpm(a.fused_track, a.track_rate_hz, interp),
+          rate));
+    }
+    ta.add_row({common::fmt(rate, 0), common::fmt(zc_err.mean(), 2),
+                common::fmt(raw_err.mean(), 2),
+                common::fmt(interp_err.mean(), 2)});
+  }
+  ta.print();
+  std::printf("(mean |error| in bpm; raw FFT bins quantise to 2.4 bpm as the "
+              "paper warns)\n");
+
+  std::printf("\n[B] FFT low-pass vs FIR low-pass filtfilt (Table-I defaults)\n");
+  common::ConsoleTable tb({"filter", "accuracy", "err [bpm]"});
+  for (core::FilterKind kind :
+       {core::FilterKind::FftLowpass, core::FilterKind::FirLowpass}) {
+    experiments::ScenarioConfig cfg;
+    cfg.seed = 7400;
+    core::MonitorConfig mc;
+    mc.extractor.filter = kind;
+    const auto agg = experiments::run_trials(cfg, kTrials, mc);
+    tb.add_row({core::filter_kind_name(kind),
+                common::fmt(agg.accuracy.mean(), 3),
+                common::fmt(agg.error_bpm.mean(), 2)});
+  }
+  tb.print();
+
+  std::printf("\n[C] adaptive band (this repo's extension) on/off, 60 deg case\n");
+  common::ConsoleTable tc({"extractor", "accuracy", "err [bpm]"});
+  for (bool adaptive : {true, false}) {
+    experiments::ScenarioConfig cfg;
+    cfg.users = {experiments::UserSpec()};
+    cfg.users[0].orientation_deg = 60.0;
+    cfg.seed = 7500;
+    core::MonitorConfig mc;
+    mc.extractor.adaptive_band = adaptive;
+    const auto agg = experiments::run_trials(cfg, kTrials, mc);
+    tc.add_row({adaptive ? "ACF-seeded band-pass" : "paper plain 0.67 Hz LPF",
+                common::fmt(agg.accuracy.mean(), 3),
+                common::fmt(agg.error_bpm.mean(), 2)});
+  }
+  tc.print();
+
+  std::printf("\n[D] M (buffered zero crossings, Eq. 5) sweep\n");
+  common::ConsoleTable td({"M", "accuracy", "err [bpm]"});
+  for (int m : {3, 5, 7, 9, 11}) {
+    experiments::ScenarioConfig cfg;
+    cfg.seed = 7600;
+    core::MonitorConfig mc;
+    mc.rate.buffered_crossings = m;
+    const auto agg = experiments::run_trials(cfg, kTrials, mc);
+    td.add_row({std::to_string(m), common::fmt(agg.accuracy.mean(), 3),
+                common::fmt(agg.error_bpm.mean(), 2)});
+  }
+  td.print();
+
+  std::printf("\n[E] low-level-data baselines (Sec. IV-A): phase vs RSSI vs "
+              "Doppler, Table-I defaults\n");
+  common::ConsoleTable te({"source", "mean err [bpm]", "accuracy"});
+  {
+    common::RunningStats phase_err, phase_acc, rssi_err, rssi_acc,
+        doppler_err, doppler_acc;
+    for (int t = 0; t < kTrials; ++t) {
+      experiments::ScenarioConfig cfg;
+      cfg.seed = 7700 + static_cast<std::uint64_t>(t) * 997;
+      experiments::Scenario scenario(cfg);
+      const double truth = scenario.true_rate_bpm(0);
+      const auto reads = scenario.run();
+
+      core::BreathMonitor monitor;
+      const auto analyses = monitor.analyze(reads);
+      if (!analyses.empty()) {
+        phase_err.add(core::rate_error_bpm(analyses[0].rate.rate_bpm, truth));
+        phase_acc.add(
+            core::breathing_rate_accuracy(analyses[0].rate.rate_bpm, truth));
+      }
+      core::BaselineConfig rssi_cfg;
+      rssi_cfg.kind = core::BaselineKind::Rssi;
+      const auto rssi = core::analyze_baseline(reads, rssi_cfg);
+      if (!rssi.empty()) {
+        rssi_err.add(core::rate_error_bpm(rssi[0].rate_bpm, truth));
+        rssi_acc.add(core::breathing_rate_accuracy(rssi[0].rate_bpm, truth));
+      }
+      core::BaselineConfig dop_cfg;
+      dop_cfg.kind = core::BaselineKind::Doppler;
+      const auto dop = core::analyze_baseline(reads, dop_cfg);
+      if (!dop.empty()) {
+        doppler_err.add(core::rate_error_bpm(dop[0].rate_bpm, truth));
+        doppler_acc.add(
+            core::breathing_rate_accuracy(dop[0].rate_bpm, truth));
+      }
+    }
+    te.add_row({"phase (TagBreathe)", common::fmt(phase_err.mean(), 2),
+                common::fmt(phase_acc.mean(), 3)});
+    te.add_row({"RSSI baseline", common::fmt(rssi_err.mean(), 2),
+                common::fmt(rssi_acc.mean(), 3)});
+    te.add_row({"Doppler baseline", common::fmt(doppler_err.mean(), 2),
+                common::fmt(doppler_acc.mean(), 3)});
+  }
+  te.print();
+  return 0;
+}

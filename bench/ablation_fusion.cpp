@@ -1,0 +1,69 @@
+// Ablation: the fusion design choices (DESIGN.md Sec. 5, items 1/5/6).
+//
+//  - tags per user 1 vs 2 vs 3 (Table I range) at increasing range,
+//  - low-level fusion vs best-single-stream,
+//  - antenna selection vs fuse-everything with 2 antennas.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "experiments/runner.hpp"
+
+using namespace tagbreathe;
+
+int main() {
+  bench::print_header("Ablation", "Multi-tag fusion and antenna selection");
+
+  constexpr int kTrials = 6;
+
+  std::printf("\n[A] tags per user, benign vs weak-signal geometry\n");
+  std::printf("    (benign: facing @4 m; weak: 55 deg orientation @4 m —\n"
+              "     fusion's value shows where single streams are marginal)\n");
+  common::ConsoleTable ta(
+      {"geometry", "1 tag", "2 tags", "3 tags"});
+  for (double orientation : {0.0, 55.0}) {
+    std::vector<std::string> row{orientation == 0.0 ? "facing (benign)"
+                                                    : "55 deg (weak)"};
+    for (int tags = 1; tags <= 3; ++tags) {
+      experiments::ScenarioConfig cfg;
+      cfg.users[0].orientation_deg = orientation;
+      cfg.tags_per_user = tags;
+      cfg.seed = 7000 + static_cast<std::uint64_t>(orientation) * 10 +
+                 static_cast<std::uint64_t>(tags);
+      const auto agg = experiments::run_trials(cfg, kTrials);
+      row.push_back(common::fmt(agg.accuracy.mean(), 3));
+    }
+    ta.add_row(row);
+  }
+  ta.print();
+
+  std::printf("\n[B] low-level fusion vs best single stream (3 tags, 55 deg)\n");
+  common::ConsoleTable tb({"pipeline", "accuracy", "err [bpm]"});
+  for (bool fuse : {true, false}) {
+    experiments::ScenarioConfig cfg;
+    cfg.users[0].orientation_deg = 55.0;
+    cfg.seed = 7100;
+    core::MonitorConfig mc;
+    mc.fuse_tags = fuse;
+    const auto agg = experiments::run_trials(cfg, kTrials, mc);
+    tb.add_row({fuse ? "fused (Eq. 6-7)" : "best single tag",
+                common::fmt(agg.accuracy.mean(), 3),
+                common::fmt(agg.error_bpm.mean(), 2)});
+  }
+  tb.print();
+
+  std::printf("\n[C] antenna selection (2 antennas, user faces antenna 1)\n");
+  common::ConsoleTable tc({"policy", "accuracy", "err [bpm]"});
+  for (bool select : {true, false}) {
+    experiments::ScenarioConfig cfg;
+    cfg.num_antennas = 2;
+    cfg.seed = 7200;
+    core::MonitorConfig mc;
+    mc.select_antenna = select;
+    const auto agg = experiments::run_trials(cfg, kTrials, mc);
+    tc.add_row({select ? "best antenna (Sec. IV-D.3)" : "fuse all antennas",
+                common::fmt(agg.accuracy.mean(), 3),
+                common::fmt(agg.error_bpm.mean(), 2)});
+  }
+  tc.print();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Ablation: office multipath (two-ray ground model) vs the calibrated
+// exponent model.
+//
+// The paper's office contains furniture and appliances; its accuracy
+// falls with distance partly because of multipath fades the exponent
+// model averages away. Turning on the two-ray floor bounce restores the
+// fade structure: per-channel RSSI varies by several dB, some (distance,
+// channel) pairs fade out, and frequency hopping is what keeps the
+// pipeline fed — exactly the paper's Sec. IV-A.3 argument.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "body/subject.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "core/metrics.hpp"
+#include "core/monitor.hpp"
+#include "rfid/reader.hpp"
+
+using namespace tagbreathe;
+
+namespace {
+
+struct Outcome {
+  double accuracy = 0.0;
+  double reads_hz = 0.0;
+  double rssi_spread_db = 0.0;  // std of per-read RSSI (fade structure)
+};
+
+Outcome run_case(double distance, bool two_ray, std::uint64_t seed) {
+  body::SubjectConfig sc;
+  sc.user_id = 1;
+  sc.position = {distance, 0.0, 0.0};
+  sc.heading_rad = common::kPi;
+  sc.sway_seed = seed;
+  auto subject = std::make_unique<body::Subject>(
+      sc, body::BreathingModel(body::MetronomeSchedule(10.0), {}));
+  std::vector<std::unique_ptr<rfid::TagBehavior>> tags;
+  for (int i = 0; i < 3; ++i)
+    tags.push_back(std::make_unique<rfid::BodyTag>(
+        rfid::Epc96::from_user_tag(1, static_cast<std::uint32_t>(i + 1)),
+        subject.get(),
+        body::Subject::all_sites()[static_cast<std::size_t>(i)]));
+  rfid::ReaderConfig rc;
+  rc.link.two_ray_ground = two_ray;
+  rc.seed = seed * 17 + 3;
+  rfid::ReaderSim sim(rc, std::move(tags));
+  const auto reads = sim.run(120.0);
+
+  Outcome out;
+  out.reads_hz = static_cast<double>(reads.size()) / 120.0;
+  common::RunningStats rssi;
+  for (const auto& r : reads) rssi.add(r.rssi_dbm);
+  out.rssi_spread_db = rssi.stddev();
+  core::BreathMonitor monitor;
+  const auto analyses = monitor.analyze(reads);
+  if (!analyses.empty())
+    out.accuracy =
+        core::breathing_rate_accuracy(analyses[0].rate.rate_bpm, 10.0);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation",
+                      "Multipath: exponent model vs two-ray ground");
+
+  constexpr int kTrials = 4;
+  common::ConsoleTable table({"distance [m]", "model", "accuracy",
+                              "reads/s", "RSSI spread [dB]"});
+  for (double d : {2.0, 4.0, 6.0}) {
+    for (bool two_ray : {false, true}) {
+      common::RunningStats acc, rate, spread;
+      for (int t = 0; t < kTrials; ++t) {
+        const Outcome o =
+            run_case(d, two_ray, 8400 + static_cast<std::uint64_t>(t));
+        acc.add(o.accuracy);
+        rate.add(o.reads_hz);
+        spread.add(o.rssi_spread_db);
+      }
+      table.add_row({common::fmt(d, 0),
+                     two_ray ? "two-ray ground" : "exponent (default)",
+                     common::fmt(acc.mean(), 3), common::fmt(rate.mean(), 1),
+                     common::fmt(spread.mean(), 2)});
+    }
+  }
+  table.print();
+  std::printf("(two-ray adds the fade structure of a real room: larger RSSI\n"
+              " spread, occasional faded channels; hopping + fusion keep the\n"
+              " accuracy close to the clean model)\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Ablation: Gen2 SELECT masking vs open inventory under contention.
+//
+// Fig. 14 accepts the read-rate collapse caused by item-labelling tags
+// because "the total reading rate is sufficiently high". The EPC Gen2
+// toolbox has a stronger answer the paper leaves on the table: a SELECT
+// whose mask matches only the monitoring EPCs (trivial with the Fig. 9
+// user-ID prefix) silences the item tags entirely. This bench quantifies
+// the recovered air time.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "experiments/runner.hpp"
+
+using namespace tagbreathe;
+
+int main() {
+  bench::print_header("Ablation",
+                      "Gen2 SELECT masking vs open inventory (Fig. 14 setup)");
+
+  constexpr int kTrials = 5;
+  common::ConsoleTable table({"contending", "inventory", "accuracy",
+                              "err [bpm]", "monitor reads/s"});
+  for (int contending : {10, 30}) {
+    for (bool select : {false, true}) {
+      experiments::ScenarioConfig cfg;
+      cfg.distance_m = 2.0;
+      cfg.contending_tags = contending;
+      cfg.select_monitoring_only = select;
+      cfg.seed = 8500 + static_cast<std::uint64_t>(contending) +
+                 (select ? 7 : 0);
+      const auto agg = experiments::run_trials(cfg, kTrials);
+      table.add_row({std::to_string(contending),
+                     select ? "SELECT monitoring tags" : "open (paper)",
+                     common::fmt(agg.accuracy.mean(), 3),
+                     common::fmt(agg.error_bpm.mean(), 2),
+                     common::fmt(agg.monitor_read_rate_hz.mean(), 1)});
+    }
+  }
+  table.print();
+  std::printf("(SELECT restores the uncontended ~58 reads/s regardless of\n"
+              " item-tag population — at the cost of not inventorying the\n"
+              " items, which a deployment may still need)\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Every bench prints (a) the paper's reference numbers where the paper
+// states them, (b) our measured numbers, and (c) an optional CSV dump
+// (TAGBREATHE_CSV_DIR env var) for external plotting.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace tagbreathe::bench {
+
+/// CSV output directory from $TAGBREATHE_CSV_DIR; nullopt = disabled.
+inline std::optional<std::string> csv_dir() {
+  const char* dir = std::getenv("TAGBREATHE_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return std::nullopt;
+  return std::string(dir);
+}
+
+inline void print_header(const char* figure, const char* title) {
+  std::printf("================================================================\n");
+  std::printf("TagBreathe reproduction — %s\n%s\n", figure, title);
+  std::printf("================================================================\n");
+}
+
+inline void print_note(const char* note) { std::printf("%s\n", note); }
+
+}  // namespace tagbreathe::bench

@@ -1,0 +1,40 @@
+// The Sec. IV-A characterisation setup shared by the Fig. 2-8 benches:
+// one passive tag on a naturally breathing user sitting 2 m from the
+// antenna, low-level data collected for 25 s at ~64 Hz.
+#pragma once
+
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "core/phase_preprocess.hpp"
+#include "experiments/scenario.hpp"
+
+namespace tagbreathe::bench {
+
+struct Characterization {
+  core::ReadStream reads;
+  experiments::ScenarioConfig config;
+  double true_rate_bpm = 0.0;
+};
+
+/// Runs the initial-experiment capture. Breathing is set to ~15 bpm so
+/// ~6 breaths fall inside the 25 s window, as in the paper's traces.
+inline Characterization run_characterization(std::uint64_t seed = 42) {
+  experiments::ScenarioConfig cfg;
+  cfg.distance_m = 2.0;
+  cfg.tags_per_user = 1;
+  cfg.duration_s = 25.0;
+  experiments::UserSpec user;
+  user.rate_bpm = 15.0;
+  cfg.users = {user};
+  cfg.seed = seed;
+
+  Characterization out;
+  out.config = cfg;
+  experiments::Scenario scenario(cfg);
+  out.reads = scenario.run();
+  out.true_rate_bpm = scenario.true_rate_bpm(0);
+  return out;
+}
+
+}  // namespace tagbreathe::bench

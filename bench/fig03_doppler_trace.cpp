@@ -1,0 +1,59 @@
+// Fig. 3: raw Doppler frequency shift during the characterisation capture.
+//
+// Paper observation: the raw Doppler stream is very noisy — the reader
+// divides a tiny intra-packet phase rotation by 4*pi*dT (Eq. 2) — but its
+// envelope still loosely tracks the periodic motion. Breathing-speed
+// motion is far too slow for reliable raw Doppler.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "bench/characterization.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+using namespace tagbreathe;
+
+int main() {
+  bench::print_header("Figure 3",
+                      "Raw Doppler frequency shift (1 tag, 2 m, 25 s)");
+  const auto cap = bench::run_characterization();
+
+  std::vector<double> doppler, times;
+  for (const auto& r : cap.reads) {
+    doppler.push_back(r.doppler_hz);
+    times.push_back(r.time_s);
+  }
+  std::printf("reads: %zu\n", doppler.size());
+  std::printf("raw Doppler: mean %.3f Hz, std %.2f Hz, range %.1f .. %.1f Hz\n",
+              common::mean(doppler), common::stddev(doppler),
+              common::min_value(doppler), common::max_value(doppler));
+
+  // Expected true Doppler scale for breathing motion: 2*v/lambda with
+  // v ~ 2*pi*f*A — fractions of a hertz, dwarfed by the Eq. 2 noise.
+  const double amp = 0.010, f = cap.true_rate_bpm / 60.0;
+  const double v_peak = common::kTwoPi * f * amp;
+  std::printf("true Doppler scale: ~%.3f Hz (v_peak %.4f m/s) -> buried in noise\n",
+              2.0 * v_peak / 0.325, v_peak);
+
+  // 1-s envelope (mean |f_d|) sparkline.
+  std::vector<double> env(25, 0.0);
+  std::vector<int> counts(25, 0);
+  for (std::size_t i = 0; i < doppler.size(); ++i) {
+    auto b = static_cast<std::size_t>(times[i]);
+    if (b >= env.size()) b = env.size() - 1;
+    env[b] += std::abs(doppler[i]);
+    ++counts[b];
+  }
+  for (std::size_t b = 0; b < env.size(); ++b)
+    if (counts[b] > 0) env[b] /= counts[b];
+  std::printf("1-s |Doppler| envelope: %s\n", common::sparkline(env).c_str());
+
+  if (const auto dir = bench::csv_dir()) {
+    common::CsvWriter csv(*dir + "/fig03_doppler.csv",
+                          {"time_s", "doppler_hz"});
+    for (std::size_t i = 0; i < doppler.size(); ++i)
+      csv.row({times[i], doppler[i]});
+    std::printf("CSV: %s/fig03_doppler.csv\n", dir->c_str());
+  }
+  return 0;
+}

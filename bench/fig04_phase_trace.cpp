@@ -1,0 +1,60 @@
+// Fig. 4: raw phase values during the characterisation capture.
+//
+// Paper observation: raw phase is discontinuous — every channel hop
+// changes the wavelength and the offset c of Eq. 1, so the trace jumps
+// at each dwell boundary even for a (nearly) static tag.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "bench/characterization.hpp"
+#include "common/units.hpp"
+
+using namespace tagbreathe;
+
+int main() {
+  bench::print_header("Figure 4", "Raw phase values (1 tag, 2 m, 25 s)");
+  const auto cap = bench::run_characterization();
+
+  // Count the phase discontinuities at channel-hop boundaries.
+  std::size_t hop_jumps = 0, within_dwell_pairs = 0;
+  double max_within_delta = 0.0;
+  for (std::size_t i = 1; i < cap.reads.size(); ++i) {
+    const auto& prev = cap.reads[i - 1];
+    const auto& cur = cap.reads[i];
+    const double delta = std::abs(
+        common::wrap_phase_pi(cur.phase_rad - prev.phase_rad));
+    if (cur.channel_index != prev.channel_index) {
+      ++hop_jumps;
+    } else {
+      ++within_dwell_pairs;
+      max_within_delta = std::max(max_within_delta, delta);
+    }
+  }
+  std::printf("reads: %zu; channel transitions in trace: %zu\n",
+              cap.reads.size(), hop_jumps);
+  std::printf("within-dwell max |phase delta|: %.3f rad (smooth)\n",
+              max_within_delta);
+  std::printf("=> raw phase unusable across hops; Eq. 3 differences "
+              "same-channel readings instead\n");
+
+  // Print a short excerpt around a hop to show the jump.
+  std::printf("\nexcerpt (time_s, channel, phase_rad):\n");
+  std::size_t shown = 0;
+  for (std::size_t i = 1; i < cap.reads.size() && shown < 12; ++i) {
+    if (cap.reads[i].channel_index != cap.reads[i - 1].channel_index ||
+        shown > 0) {
+      std::printf("  %7.3f  ch%-2u  %.3f\n", cap.reads[i].time_s,
+                  cap.reads[i].channel_index, cap.reads[i].phase_rad);
+      ++shown;
+    }
+  }
+
+  if (const auto dir = bench::csv_dir()) {
+    common::CsvWriter csv(*dir + "/fig04_phase.csv",
+                          {"time_s", "channel", "phase_rad"});
+    for (const auto& r : cap.reads)
+      csv.row({r.time_s, static_cast<double>(r.channel_index), r.phase_rad});
+    std::printf("CSV: %s/fig04_phase.csv\n", dir->c_str());
+  }
+  return 0;
+}

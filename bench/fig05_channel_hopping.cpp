@@ -1,0 +1,50 @@
+// Fig. 5: channel index vs time — the reader hops among 10 channels,
+// residing ~0.2 s in each (regulatory frequency hopping).
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.hpp"
+#include "bench/characterization.hpp"
+
+using namespace tagbreathe;
+
+int main() {
+  bench::print_header("Figure 5", "Channel hopping (paper plan: 10 ch, 0.2 s)");
+  const auto cap = bench::run_characterization();
+
+  // Reconstruct dwell segments from the read stream.
+  std::map<std::uint16_t, double> dwell_time;
+  std::map<std::uint16_t, std::size_t> visits;
+  double seg_start = cap.reads.front().time_s;
+  std::uint16_t seg_ch = cap.reads.front().channel_index;
+  std::size_t segments = 0;
+  for (std::size_t i = 1; i < cap.reads.size(); ++i) {
+    if (cap.reads[i].channel_index != seg_ch) {
+      dwell_time[seg_ch] += cap.reads[i].time_s - seg_start;
+      ++visits[seg_ch];
+      ++segments;
+      seg_ch = cap.reads[i].channel_index;
+      seg_start = cap.reads[i].time_s;
+    }
+  }
+  std::printf("distinct channels observed: %zu (paper: 10)\n",
+              dwell_time.size());
+  std::printf("hop segments in 25 s: %zu (expected ~%d at 0.2 s dwell)\n",
+              segments, static_cast<int>(25.0 / 0.2));
+
+  common::ConsoleTable table({"channel", "visits", "mean dwell [s]"});
+  for (const auto& [ch, total] : dwell_time) {
+    table.add_row({std::to_string(ch), std::to_string(visits[ch]),
+                   common::fmt(total / static_cast<double>(visits[ch]), 3)});
+  }
+  table.print();
+
+  if (const auto dir = bench::csv_dir()) {
+    common::CsvWriter csv(*dir + "/fig05_channels.csv",
+                          {"time_s", "channel"});
+    for (const auto& r : cap.reads)
+      csv.row({r.time_s, static_cast<double>(r.channel_index)});
+    std::printf("CSV: %s/fig05_channels.csv\n", dir->c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+// google-benchmark microbenchmarks of the DSP kernels on the TagBreathe
+// hot path: FFT, the FFT low-pass, FIR design/filtering, preprocessing,
+// fusion and the ACF fundamental search.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/fusion.hpp"
+#include "core/phase_preprocess.hpp"
+#include "signal/fft.hpp"
+#include "signal/fir.hpp"
+#include "signal/spectrum.hpp"
+
+using namespace tagbreathe;
+
+namespace {
+
+std::vector<double> noise_signal(std::size_t n, std::uint64_t seed = 3) {
+  common::Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.normal();
+  return x;
+}
+
+void BM_FftPow2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<signal::cdouble> data(n);
+  common::Rng rng(1);
+  for (auto& c : data) c = {rng.normal(), rng.normal()};
+  for (auto _ : state) {
+    auto copy = data;
+    signal::fft_pow2(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FftPow2)->RangeMultiplier(4)->Range(256, 16384)->Complexity();
+
+void BM_FftBluestein(benchmark::State& state) {
+  // Non-power-of-two length exercises the chirp-z path.
+  const auto n = static_cast<std::size_t>(state.range(0)) + 1;
+  std::vector<signal::cdouble> data(n);
+  common::Rng rng(1);
+  for (auto& c : data) c = {rng.normal(), rng.normal()};
+  for (auto _ : state) {
+    auto out = signal::fft(data);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FftBluestein)->RangeMultiplier(4)->Range(256, 16384);
+
+void BM_FftLowpass(benchmark::State& state) {
+  const auto x = noise_signal(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto y = signal::fft_lowpass(x, 20.0, 0.67);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_FftLowpass)->Arg(600)->Arg(2400)->Arg(9600);
+
+void BM_FirFiltFilt(benchmark::State& state) {
+  const auto x = noise_signal(static_cast<std::size_t>(state.range(0)));
+  const auto taps = signal::design_lowpass(0.67, 20.0, 101);
+  for (auto _ : state) {
+    auto y = signal::filtfilt(x, taps);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_FirFiltFilt)->Arg(600)->Arg(2400);
+
+void BM_AcfFundamental(benchmark::State& state) {
+  // 120 s of 20 Hz track with a 10 bpm oscillation + noise.
+  std::vector<double> x = noise_signal(2400);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = 0.01 * std::sin(2.0 * 3.14159 * 0.1667 * static_cast<double>(i) / 20.0) +
+           0.003 * x[i];
+  for (auto _ : state) {
+    const double f = signal::autocorrelation_fundamental(x, 20.0, 0.075, 0.67);
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_AcfFundamental);
+
+void BM_Goertzel(benchmark::State& state) {
+  const auto x = noise_signal(2400);
+  for (auto _ : state) {
+    const double p = signal::goertzel_power(x, 20.0, 0.1667);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_Goertzel);
+
+void BM_FuseStreams(benchmark::State& state) {
+  // Three 120 s delta streams at ~60 Hz each.
+  common::Rng rng(5);
+  std::vector<std::vector<signal::TimedSample>> streams(3);
+  for (auto& s : streams) {
+    double t = 0.0;
+    while (t < 120.0) {
+      t += rng.exponential(60.0);
+      s.push_back(signal::TimedSample{t, rng.normal() * 1e-3});
+    }
+  }
+  for (auto _ : state) {
+    auto fused = core::fuse_streams(streams);
+    benchmark::DoNotOptimize(fused.track.data());
+  }
+}
+BENCHMARK(BM_FuseStreams);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// google-benchmark: llrp-lite wire codec throughput — the per-read cost
+// of the SDK boundary (encode on the reader, frame + decode on the host).
+#include <benchmark/benchmark.h>
+
+#include "llrp/message.hpp"
+#include "llrp/params.hpp"
+
+using namespace tagbreathe;
+
+namespace {
+
+std::vector<llrp::TagReportEntry> batch(std::size_t n) {
+  std::vector<llrp::TagReportEntry> entries;
+  for (std::size_t i = 0; i < n; ++i) {
+    core::TagRead r;
+    r.epc = rfid::Epc96::from_user_tag(1 + i % 4,
+                                       static_cast<std::uint32_t>(i % 3));
+    r.time_s = static_cast<double>(i) * 0.016;
+    r.antenna_id = static_cast<std::uint8_t>(1 + i % 2);
+    r.channel_index = static_cast<std::uint16_t>(i % 10);
+    r.rssi_dbm = -60.0;
+    r.phase_rad = 1.5;
+    r.doppler_hz = 0.25;
+    entries.push_back(llrp::to_wire(r));
+  }
+  return entries;
+}
+
+void BM_EncodeTagReports(benchmark::State& state) {
+  const auto entries = batch(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto body = llrp::encode_tag_reports(entries);
+    benchmark::DoNotOptimize(body.data());
+  }
+  state.counters["reads/s"] = benchmark::Counter(
+      static_cast<double>(entries.size()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EncodeTagReports)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_DecodeTagReports(benchmark::State& state) {
+  const auto body =
+      llrp::encode_tag_reports(batch(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    auto entries = llrp::decode_tag_reports(body);
+    benchmark::DoNotOptimize(entries.data());
+  }
+  state.counters["reads/s"] = benchmark::Counter(
+      static_cast<double>(state.range(0)), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DecodeTagReports)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_FramerRoundTrip(benchmark::State& state) {
+  llrp::Message m;
+  m.type = llrp::MessageType::RoAccessReport;
+  m.body = llrp::encode_tag_reports(batch(64));
+  const auto wire = llrp::encode_message(m);
+  for (auto _ : state) {
+    llrp::MessageFramer framer;
+    framer.feed(wire);
+    llrp::Message out;
+    framer.next(out);
+    benchmark::DoNotOptimize(out.body.data());
+  }
+}
+BENCHMARK(BM_FramerRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

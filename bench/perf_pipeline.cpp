@@ -1,0 +1,70 @@
+// google-benchmark end-to-end benchmarks: full simulate+analyse trials
+// and the analysis stage alone (the realtime budget that matters for a
+// live deployment — the paper's pipeline ran in realtime on a laptop).
+#include <benchmark/benchmark.h>
+
+#include "core/monitor.hpp"
+#include "core/pipeline.hpp"
+#include "experiments/runner.hpp"
+
+using namespace tagbreathe;
+
+namespace {
+
+core::ReadStream canned_reads(int users, double duration_s) {
+  experiments::ScenarioConfig cfg;
+  cfg.users.clear();
+  for (int u = 0; u < users; ++u) {
+    experiments::UserSpec user;
+    user.rate_bpm = 10.0 + 2.0 * u;
+    cfg.users.push_back(user);
+  }
+  cfg.duration_s = duration_s;
+  cfg.seed = 11;
+  experiments::Scenario scenario(cfg);
+  return scenario.run();
+}
+
+void BM_SimulateTrial(benchmark::State& state) {
+  // Full 120 s radio simulation (slot-level Gen2 + PHY).
+  for (auto _ : state) {
+    experiments::ScenarioConfig cfg;
+    cfg.users = {experiments::UserSpec()};
+    cfg.seed = 17;
+    experiments::Scenario scenario(cfg);
+    auto reads = scenario.run();
+    benchmark::DoNotOptimize(reads.data());
+  }
+}
+BENCHMARK(BM_SimulateTrial)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeWindow(benchmark::State& state) {
+  const int users = static_cast<int>(state.range(0));
+  const auto reads = canned_reads(users, 120.0);
+  core::BreathMonitor monitor;
+  for (auto _ : state) {
+    auto analyses = monitor.analyze(reads);
+    benchmark::DoNotOptimize(analyses.data());
+  }
+  state.counters["reads"] = static_cast<double>(reads.size());
+  state.counters["reads/s"] = benchmark::Counter(
+      static_cast<double>(reads.size()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AnalyzeWindow)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_RealtimePipelineFeed(benchmark::State& state) {
+  const auto reads = canned_reads(1, 120.0);
+  for (auto _ : state) {
+    core::PipelineConfig cfg;
+    core::RealtimePipeline pipeline(cfg, nullptr);
+    for (const auto& r : reads) pipeline.push(r);
+    benchmark::DoNotOptimize(pipeline.latest().size());
+  }
+  state.counters["reads/s"] = benchmark::Counter(
+      static_cast<double>(reads.size()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RealtimePipelineFeed)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

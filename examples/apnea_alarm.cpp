@@ -1,0 +1,77 @@
+// Infant apnea alarm: the introduction's motivating application.
+//
+// A sleeping infant (lying, fast shallow breathing) is monitored through
+// tags in the sleep garment. The breathing pauses twice — a short
+// self-resolving pause and a long apnea. The realtime pipeline raises
+// ApneaAlert when the extracted breath signal stops crossing zero while
+// the tags are still being read (so it is a breathing pause, not a
+// coverage problem), and SignalLost when the tags stop reporting.
+#include <cstdio>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "experiments/scenario.hpp"
+
+using namespace tagbreathe;
+
+int main() {
+  std::printf("TagBreathe apnea alarm: sleeping infant, 4 min\n");
+  std::printf("breathing pauses scripted at t=90 s (8 s) and t=180 s (25 s)\n\n");
+
+  experiments::ScenarioConfig scene;
+  scene.duration_s = 240.0;
+  scene.distance_m = 0.6;        // antenna mounted over the crib...
+  scene.antenna_height_m = 2.0;  // ...looking down at the infant
+  scene.seed = 7;
+  scene.users[0].rate_bpm = 28.0;  // infant rate (faster than adults)
+  scene.users[0].posture = body::Posture::Lying;
+  scene.users[0].apneas = {{90.0, 8.0}, {180.0, 25.0}};
+  experiments::Scenario scenario(scene);
+
+  core::PipelineConfig pcfg;
+  pcfg.apnea_silence_s = 8.0;  // alarm threshold
+  // Infant rates are above the adult default band's midpoint; the
+  // extractor's 0.67 Hz cutoff (40 bpm) still covers 28 bpm.
+  std::vector<std::string> alarms;
+  double last_rate = 0.0;
+  core::RealtimePipeline pipeline(
+      pcfg, [&](const core::PipelineEvent& e) {
+        char line[128];
+        switch (e.kind) {
+          case core::PipelineEventKind::ApneaAlert:
+            std::snprintf(line, sizeof(line),
+                          "t=%6.1f s  *** APNEA ALARM: no breath for >%.0f s",
+                          e.time_s, pcfg.apnea_silence_s);
+            alarms.push_back(line);
+            std::printf("%s\n", line);
+            break;
+          case core::PipelineEventKind::SignalLost:
+            std::snprintf(line, sizeof(line),
+                          "t=%6.1f s  ** tags unreadable (coverage loss)",
+                          e.time_s);
+            alarms.push_back(line);
+            std::printf("%s\n", line);
+            break;
+          case core::PipelineEventKind::SignalRecovered:
+            std::printf("t=%6.1f s  tags readable again\n", e.time_s);
+            break;
+          case core::PipelineEventKind::RateUpdate:
+            last_rate = e.rate_bpm;
+            break;
+        }
+      });
+
+  double next_status = 30.0;
+  scenario.reader().run(scene.duration_s, [&](const core::TagRead& read) {
+    pipeline.push(read);
+    if (read.time_s >= next_status) {
+      std::printf("t=%6.1f s  breathing %.1f bpm\n", read.time_s, last_rate);
+      next_status += 30.0;
+    }
+  });
+
+  std::printf("\nsummary: %zu alarm(s) raised\n", alarms.size());
+  std::printf("expected: the 25 s apnea at t=180 s must alarm; the 8 s pause "
+              "at t=90 s sits at the threshold and may or may not.\n");
+  return alarms.empty() ? 1 : 0;
+}

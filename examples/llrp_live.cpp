@@ -1,0 +1,68 @@
+// Reader-SDK integration: drive TagBreathe through the llrp-lite wire.
+//
+// This mirrors the paper's software stack (Sec. V): the host configures
+// the reader over LLRP (ADD/ENABLE/START ROSpec), the reader streams
+// RO_ACCESS_REPORT batches with the vendor low-level-data parameters, and
+// the client decodes them into TagRead records feeding the realtime
+// pipeline. Swap the in-memory channel for a TCP socket and the
+// simulator for an R420 and the host side is unchanged.
+#include <cstdio>
+#include <memory>
+
+#include "body/subject.hpp"
+#include "common/units.hpp"
+#include "core/pipeline.hpp"
+#include "llrp/session.hpp"
+
+using namespace tagbreathe;
+
+int main() {
+  std::printf("TagBreathe over llrp-lite: configure, inventory, decode\n\n");
+
+  // Radio side: one subject, 3 tags, 3 m.
+  body::SubjectConfig scfg;
+  scfg.user_id = 1;
+  scfg.position = {3.0, 0.0, 0.0};
+  scfg.heading_rad = common::kPi;
+  auto subject = std::make_unique<body::Subject>(
+      scfg, body::BreathingModel(body::MetronomeSchedule(13.0), {}));
+  std::vector<std::unique_ptr<rfid::TagBehavior>> tags;
+  for (int i = 0; i < 3; ++i) {
+    tags.push_back(std::make_unique<rfid::BodyTag>(
+        rfid::Epc96::from_user_tag(1, static_cast<std::uint32_t>(i + 1)),
+        subject.get(),
+        body::Subject::all_sites()[static_cast<std::size_t>(i)]));
+  }
+  rfid::ReaderConfig rcfg;
+  rcfg.seed = 4242;
+  auto sim = std::make_unique<rfid::ReaderSim>(rcfg, std::move(tags));
+
+  // Protocol session: client <-> reader endpoint over the in-memory wire.
+  llrp::LlrpSession session(llrp::ClientConfig{}, llrp::EndpointConfig{},
+                            std::move(sim));
+  std::printf("handshake: ADD_ROSPEC / ENABLE_ROSPEC / START_ROSPEC ... ");
+  session.start();
+  std::printf("ok\n");
+
+  core::RealtimePipeline pipeline(
+      core::PipelineConfig{}, [](const core::PipelineEvent& e) {
+        if (e.kind == core::PipelineEventKind::RateUpdate &&
+            std::fmod(e.time_s, 10.0) < 1.0) {
+          std::printf("t=%5.1f s  user %llu  %.1f bpm%s\n", e.time_s,
+                      static_cast<unsigned long long>(e.user_id), e.rate_bpm,
+                      e.reliable ? "" : " (settling)");
+        }
+      });
+  session.client().set_read_callback(
+      [&pipeline](const core::TagRead& read) { pipeline.push(read); });
+
+  // Pump the connection in 1 s slices, as a socket event loop would.
+  for (int s = 0; s < 90; ++s) session.advance(1.0);
+
+  std::printf("\nreports received: %zu, reads decoded: %zu\n",
+              session.client().reports_received(),
+              session.client().reads_decoded());
+  session.stop();
+  std::printf("ROSpec stopped; connection idle.\n");
+  return 0;
+}

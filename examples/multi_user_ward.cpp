@@ -1,0 +1,94 @@
+// Hospital-ward scenario: four patients monitored at once.
+//
+// The paper's headline capability is *multi-user* monitoring: the Gen2
+// MAC separates every tag's backscatter, and the Fig. 9 EPC scheme lets
+// the analysis group streams per patient. Here four patients sit/lie at
+// different ranges with different breathing rates (one has a scheduled
+// rate change, as after exertion); two round-robin antennas cover the
+// ward. A realtime pipeline prints a rate board every 10 s.
+#include <cstdio>
+#include <map>
+
+#include "common/table.hpp"
+#include "core/pipeline.hpp"
+#include "experiments/scenario.hpp"
+
+using namespace tagbreathe;
+
+int main() {
+  std::printf("TagBreathe ward monitor: 4 patients, 2 antennas, 3 min\n\n");
+
+  experiments::ScenarioConfig scene;
+  scene.duration_s = 180.0;
+  scene.distance_m = 3.0;
+  scene.num_antennas = 2;
+  scene.seed = 99;
+  scene.users.clear();
+  {
+    experiments::UserSpec bed1;  // resting adult, propped up in bed
+    bed1.rate_bpm = 9.0;
+    bed1.side_offset_m = 0.0;
+    scene.users.push_back(bed1);
+
+    experiments::UserSpec bed2;  // recovering: slows from 18 to 12 bpm
+    bed2.schedule = {{0.0, 18.0}, {90.0, 12.0}};
+    bed2.side_offset_m = 1.2;
+    scene.users.push_back(bed2);
+
+    experiments::UserSpec chair;  // visitor, chest breather
+    chair.rate_bpm = 14.0;
+    chair.chest_style = 0.9;
+    chair.side_offset_m = 2.4;
+    scene.users.push_back(chair);
+
+    experiments::UserSpec standing;  // nurse charting
+    standing.rate_bpm = 12.0;
+    standing.posture = body::Posture::Standing;
+    standing.side_offset_m = 3.6;
+    scene.users.push_back(standing);
+  }
+  experiments::Scenario scenario(scene);
+
+  // Stream the reads through the realtime pipeline and keep the latest
+  // rate per user.
+  std::map<std::uint64_t, double> board;
+  std::map<std::uint64_t, bool> reliable;
+  core::PipelineConfig pcfg;
+  pcfg.window_s = 60.0;  // a longer window steadies multi-user estimates
+  core::RealtimePipeline pipeline(
+      pcfg, [&](const core::PipelineEvent& e) {
+        if (e.kind == core::PipelineEventKind::RateUpdate) {
+          board[e.user_id] = e.rate_bpm;
+          reliable[e.user_id] = e.reliable;
+        }
+      });
+
+  double next_print = 30.0;
+  scenario.reader().run(scene.duration_s, [&](const core::TagRead& read) {
+    pipeline.push(read);
+    if (read.time_s >= next_print) {
+      std::printf("t = %3.0f s |", read.time_s);
+      for (const auto& [user, rate] : board)
+        std::printf(" patient %llu: %5.1f bpm%s |",
+                    static_cast<unsigned long long>(user), rate,
+                    reliable[user] ? "" : "?");
+      std::printf("\n");
+      next_print += 30.0;
+    }
+  });
+
+  std::printf("\nfinal board vs ground truth:\n");
+  common::ConsoleTable table({"patient", "estimated [bpm]", "true [bpm]",
+                              "posture"});
+  for (std::size_t u = 0; u < scene.users.size(); ++u) {
+    const double truth =
+        scenario.subject(u).breathing().schedule().mean_rate_bpm(
+            scene.duration_s - 30.0, scene.duration_s);
+    table.add_row({std::to_string(u + 1), common::fmt(board[u + 1], 1),
+                   common::fmt(truth, 1),
+                   body::posture_name(scene.users[u].posture)});
+    (void)truth;
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Warehouse shift monitor: breath monitoring in a busy RFID environment.
+//
+// A worker wearing three factory-EPC tags (identities resolved through
+// the Sec. IV-C mapping table — no EPC rewriting) shares the reader with
+// tagged stock that continuously moves through the dock. Two operating
+// modes are compared live:
+//
+//   phase 1 (0-60 s):  open inventory — stock contends for air time and
+//                      the monitoring read rate collapses (Fig. 14);
+//   phase 2 (60-120 s): the reader issues a Gen2 SELECT for the three
+//                      monitoring tags — full rate returns while stock
+//                      keeps moving (it just stops being read).
+#include <cstdio>
+#include <memory>
+
+#include "body/subject.hpp"
+#include "common/units.hpp"
+#include "core/demux.hpp"
+#include "core/monitor.hpp"
+#include "core/tag_registry.hpp"
+#include "rfid/reader.hpp"
+
+using namespace tagbreathe;
+
+namespace {
+
+struct Deployment {
+  std::unique_ptr<body::Subject> worker;
+  core::TagRegistry registry;
+  rfid::Epc96 monitor_epcs[3];
+};
+
+std::vector<std::unique_ptr<rfid::TagBehavior>> build_tags(Deployment& dep) {
+  std::vector<std::unique_ptr<rfid::TagBehavior>> tags;
+  // The worker's tags carry factory EPCs; the registry maps them.
+  const char* factory_hex[3] = {"30395dfa833114a0000000a1",
+                                "30395dfa833114a0000000a2",
+                                "30395dfa833114a0000000a3"};
+  for (int i = 0; i < 3; ++i) {
+    dep.monitor_epcs[i] = *rfid::Epc96::from_hex(factory_hex[i]);
+    dep.registry.register_tag(dep.monitor_epcs[i], /*user=*/1,
+                              static_cast<std::uint32_t>(i + 1));
+    tags.push_back(std::make_unique<rfid::BodyTag>(
+        dep.monitor_epcs[i], dep.worker.get(),
+        body::Subject::all_sites()[static_cast<std::size_t>(i)]));
+  }
+  // Stock: 40 tagged cartons, each passing through the dock for ~25 s.
+  for (int i = 0; i < 40; ++i) {
+    auto item = std::make_unique<rfid::StaticTag>(
+        rfid::Epc96::from_user_tag(
+            0xCAFE0000ULL + static_cast<std::uint64_t>(i),
+            static_cast<std::uint32_t>(i)),
+        common::Vec3{1.2 + 0.08 * i, (i % 2) ? 1.4 : -1.1,
+                     0.4 + 0.05 * (i % 8)});
+    item->set_presence_window(3.0 * i, 3.0 * i + 25.0);
+    tags.push_back(std::move(item));
+  }
+  return tags;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("TagBreathe warehouse shift: 1 worker, 40 cartons passing, "
+              "2 min\n\n");
+
+  Deployment dep;
+  body::SubjectConfig sc;
+  sc.user_id = 1;
+  sc.position = {2.5, 0.0, 0.0};
+  sc.heading_rad = common::kPi;
+  dep.worker = std::make_unique<body::Subject>(
+      sc, body::BreathingModel(body::MetronomeSchedule(13.0), {}));
+
+  // Phase 1: open inventory.
+  rfid::ReaderConfig open_cfg;
+  open_cfg.seed = 321;
+  rfid::ReaderSim open_sim(open_cfg, build_tags(dep));
+  const auto open_reads = open_sim.run(60.0);
+
+  // Phase 2: SELECT only the registered monitoring EPCs.
+  rfid::ReaderConfig select_cfg;
+  select_cfg.seed = 322;
+  const core::TagRegistry& registry = dep.registry;
+  select_cfg.select_filter = [&registry](const rfid::Epc96& epc) {
+    return registry.lookup(epc).has_value();
+  };
+  rfid::ReaderSim select_sim(select_cfg, build_tags(dep));
+  const auto select_reads = select_sim.run(60.0);
+
+  core::BreathMonitor monitor;
+  for (const auto& [label, reads] :
+       {std::pair<const char*, const core::ReadStream&>{"open inventory",
+                                                        open_reads},
+        {"SELECT monitoring", select_reads}}) {
+    std::size_t monitor_count = 0;
+    for (const auto& r : reads)
+      if (registry.lookup(r.epc)) ++monitor_count;
+
+    core::StreamDemux demux;
+    demux.set_registry(&dep.registry);
+    demux.add(reads);
+    const auto analysis = monitor.analyze_user(
+        demux, 1, reads.front().time_s, reads.back().time_s);
+    std::printf("%-17s: total %5.1f reads/s, monitoring %5.1f reads/s, "
+                "rate %.1f bpm (true 13.0)\n",
+                label, reads.size() / 60.0, monitor_count / 60.0,
+                analysis.rate.rate_bpm);
+  }
+  std::printf("\nthe mapping table resolves factory EPCs; SELECT recovers "
+              "the air time the stock was consuming.\n");
+  return 0;
+}

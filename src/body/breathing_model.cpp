@@ -1,0 +1,139 @@
+#include "body/breathing_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace tagbreathe::body {
+
+using tagbreathe::common::kPi;
+using tagbreathe::common::kTwoPi;
+
+MetronomeSchedule::MetronomeSchedule(double rate_bpm)
+    : MetronomeSchedule(std::vector<RateSegment>{{0.0, rate_bpm}}) {}
+
+MetronomeSchedule::MetronomeSchedule(std::vector<RateSegment> segments)
+    : segments_(std::move(segments)) {
+  if (segments_.empty())
+    throw std::invalid_argument("MetronomeSchedule: empty schedule");
+  if (segments_.front().start_s != 0.0)
+    throw std::invalid_argument("MetronomeSchedule: first segment must start at 0");
+  for (std::size_t i = 1; i < segments_.size(); ++i) {
+    if (segments_[i].start_s <= segments_[i - 1].start_s)
+      throw std::invalid_argument("MetronomeSchedule: segments must be sorted");
+  }
+  for (const RateSegment& s : segments_) {
+    if (s.rate_bpm < 0.0)
+      throw std::invalid_argument("MetronomeSchedule: negative rate");
+  }
+  phase_at_start_.resize(segments_.size(), 0.0);
+  for (std::size_t i = 1; i < segments_.size(); ++i) {
+    const double span = segments_[i].start_s - segments_[i - 1].start_s;
+    phase_at_start_[i] = phase_at_start_[i - 1] +
+                         span * segments_[i - 1].rate_bpm / 60.0;
+  }
+}
+
+namespace {
+std::size_t segment_index(const std::vector<RateSegment>& segments, double t) {
+  // Last segment whose start <= t (t < 0 clamps to the first segment).
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (segments[i].start_s <= t) idx = i;
+    else break;
+  }
+  return idx;
+}
+}  // namespace
+
+double MetronomeSchedule::rate_bpm_at(double t) const noexcept {
+  return segments_[segment_index(segments_, t)].rate_bpm;
+}
+
+double MetronomeSchedule::phase_cycles_at(double t) const noexcept {
+  if (t <= 0.0) return 0.0;
+  const std::size_t i = segment_index(segments_, t);
+  return phase_at_start_[i] +
+         (t - segments_[i].start_s) * segments_[i].rate_bpm / 60.0;
+}
+
+double MetronomeSchedule::mean_rate_bpm(double t0, double t1) const noexcept {
+  if (t1 <= t0) return rate_bpm_at(t0);
+  return (phase_cycles_at(t1) - phase_cycles_at(t0)) / (t1 - t0) * 60.0;
+}
+
+double breath_excursion(double phase_cycles, const BreathShape& shape) noexcept {
+  double p = phase_cycles - std::floor(phase_cycles);  // in [0, 1)
+  const double fi = std::clamp(shape.inhale_fraction, 0.05, 0.9);
+  const double fp = std::clamp(shape.pause_fraction, 0.0, 0.5);
+  const double fe = std::max(1.0 - fi - fp, 0.05);  // exhale fraction
+
+  double g;
+  if (p < fi) {
+    // Inhale: raised cosine from 0 to 1.
+    g = 0.5 - 0.5 * std::cos(kPi * p / fi);
+  } else if (p < fi + fe) {
+    // Exhale: raised cosine from 1 back to 0.
+    const double q = (p - fi) / fe;
+    g = 0.5 + 0.5 * std::cos(kPi * q);
+  } else {
+    // End-expiration pause.
+    g = 0.0;
+  }
+
+  if (shape.harmonic_level != 0.0) {
+    // Small second harmonic, scaled so g stays within [0, 1].
+    const double h = shape.harmonic_level * std::sin(2.0 * kTwoPi * p);
+    g = std::clamp(g + h * g * (1.0 - g) * 4.0, 0.0, 1.0);
+  }
+  return g;
+}
+
+BreathingModel::BreathingModel(MetronomeSchedule schedule, BreathShape shape,
+                               std::vector<ApneaEvent> apneas)
+    : schedule_(std::move(schedule)),
+      shape_(shape),
+      apneas_(std::move(apneas)) {
+  std::sort(apneas_.begin(), apneas_.end(),
+            [](const ApneaEvent& a, const ApneaEvent& b) {
+              return a.start_s < b.start_s;
+            });
+  for (const ApneaEvent& a : apneas_) {
+    if (a.duration_s < 0.0)
+      throw std::invalid_argument("BreathingModel: negative apnea duration");
+  }
+}
+
+bool BreathingModel::in_apnea(double t) const noexcept {
+  for (const ApneaEvent& a : apneas_) {
+    if (t >= a.start_s && t < a.start_s + a.duration_s) return true;
+    if (a.start_s > t) break;
+  }
+  return false;
+}
+
+double BreathingModel::effective_phase_cycles(double t) const noexcept {
+  // Integrate the commanded rate only over non-apnea time: the phase
+  // clock stops during a breath hold, which freezes the excursion.
+  double phase = schedule_.phase_cycles_at(t);
+  for (const ApneaEvent& a : apneas_) {
+    if (a.start_s >= t) break;
+    const double end = std::min(a.start_s + a.duration_s, t);
+    phase -= schedule_.phase_cycles_at(end) -
+             schedule_.phase_cycles_at(a.start_s);
+  }
+  return phase;
+}
+
+double BreathingModel::displacement_m(double t,
+                                      double amplitude_m) const noexcept {
+  return amplitude_m * breath_excursion(effective_phase_cycles(t), shape_);
+}
+
+double BreathingModel::true_rate_bpm(double t) const noexcept {
+  return in_apnea(t) ? 0.0 : schedule_.rate_bpm_at(t);
+}
+
+}  // namespace tagbreathe::body

@@ -1,0 +1,109 @@
+// Breathing kinematics.
+//
+// The experiments in the paper regulate subjects with a breathing
+// metronome app, so ground truth is a commanded rate schedule. This
+// module turns a rate schedule into a chest/abdomen wall displacement
+// waveform:
+//
+//   - MetronomeSchedule: piecewise-constant breathing rate over time with
+//     exact phase integration (so rate changes don't jump the phase).
+//   - BreathWaveform: maps breathing phase to normalised wall excursion
+//     in [0, 1]. Real breathing is asymmetric (inspiration is shorter
+//     than expiration at rest, roughly 1:1.5) with a brief end-expiration
+//     pause; we model that with a piecewise raised-cosine profile.
+//   - Apnea intervals freeze the excursion near the end-expiration level,
+//     modelling the "occasional pauses" the introduction motivates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tagbreathe::body {
+
+/// One segment of a commanded breathing-rate schedule.
+struct RateSegment {
+  double start_s = 0.0;  // segment start time
+  double rate_bpm = 12.0;
+};
+
+/// Piecewise-constant metronome with continuous phase.
+class MetronomeSchedule {
+ public:
+  /// Constant-rate schedule.
+  explicit MetronomeSchedule(double rate_bpm);
+
+  /// Piecewise schedule; segments must be sorted by start time with the
+  /// first starting at 0.
+  explicit MetronomeSchedule(std::vector<RateSegment> segments);
+
+  /// Commanded rate [bpm] at time t.
+  double rate_bpm_at(double t) const noexcept;
+
+  /// Breathing phase [cycles, not radians] at time t:
+  /// phase(t) = integral of rate(tau) dtau. Continuous across segment
+  /// boundaries.
+  double phase_cycles_at(double t) const noexcept;
+
+  /// Mean commanded rate over [t0, t1].
+  double mean_rate_bpm(double t0, double t1) const noexcept;
+
+  const std::vector<RateSegment>& segments() const noexcept {
+    return segments_;
+  }
+
+ private:
+  std::vector<RateSegment> segments_;
+  std::vector<double> phase_at_start_;  // cumulative cycles at segment start
+};
+
+/// Shape of one breath cycle.
+struct BreathShape {
+  /// Fraction of the cycle spent inhaling (typ. 0.4: expiration longer).
+  double inhale_fraction = 0.4;
+  /// Fraction of the cycle spent in the end-expiration pause.
+  double pause_fraction = 0.1;
+  /// Relative second-harmonic content (chest wall motion is not a pure
+  /// sinusoid; a small harmonic makes the FFT figure realistic).
+  double harmonic_level = 0.08;
+};
+
+/// Normalised chest-wall excursion g(phase) in [0, 1]:
+/// 0 = end of expiration, 1 = end of inspiration. `phase_cycles` may be
+/// any real number; only its fractional part matters.
+double breath_excursion(double phase_cycles, const BreathShape& shape) noexcept;
+
+/// An apnea (breath-hold) episode.
+struct ApneaEvent {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+};
+
+/// Full displacement generator: metronome + shape + amplitude + apneas.
+class BreathingModel {
+ public:
+  BreathingModel(MetronomeSchedule schedule, BreathShape shape,
+                 std::vector<ApneaEvent> apneas = {});
+
+  /// Wall displacement [m] relative to end-expiration at time t, for a
+  /// site whose peak excursion is `amplitude_m`. During apnea the wall
+  /// holds at the excursion level reached when the apnea began.
+  double displacement_m(double t, double amplitude_m) const noexcept;
+
+  /// True (commanded) breathing rate [bpm] at t; 0 during apnea.
+  double true_rate_bpm(double t) const noexcept;
+
+  bool in_apnea(double t) const noexcept;
+
+  const MetronomeSchedule& schedule() const noexcept { return schedule_; }
+
+ private:
+  /// Effective breathing phase with apnea intervals excised: the phase
+  /// clock stops while an apnea is in progress.
+  double effective_phase_cycles(double t) const noexcept;
+
+  MetronomeSchedule schedule_;
+  BreathShape shape_;
+  std::vector<ApneaEvent> apneas_;  // sorted by start
+};
+
+}  // namespace tagbreathe::body

@@ -1,0 +1,40 @@
+#include "body/motion.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace tagbreathe::body {
+
+using tagbreathe::common::kTwoPi;
+
+SwayProcess::SwayProcess(double amplitude_m, std::uint64_t seed) {
+  common::Rng rng(seed ^ 0xB0D75A11ULL);
+  double total = 0.0;
+  for (int k = 0; k < kComponents; ++k) {
+    amp_[k] = rng.uniform(0.5, 1.0);
+    total += amp_[k];
+    freq_hz_[k] = rng.uniform(0.02, 0.15);
+    phase_[k] = rng.uniform(0.0, kTwoPi);
+    const double theta = rng.uniform(0.0, kTwoPi);
+    dir_x_[k] = std::cos(theta);
+    dir_y_[k] = std::sin(theta);
+  }
+  // Normalise so the worst-case sum equals the requested amplitude.
+  if (total > 0.0) {
+    for (double& a : amp_) a *= amplitude_m / total;
+  }
+}
+
+common::Vec3 SwayProcess::offset(double t) const noexcept {
+  common::Vec3 out{};
+  for (int k = 0; k < kComponents; ++k) {
+    const double s = amp_[k] * std::sin(kTwoPi * freq_hz_[k] * t + phase_[k]);
+    out.x += s * dir_x_[k];
+    out.y += s * dir_y_[k];
+  }
+  return out;
+}
+
+}  // namespace tagbreathe::body

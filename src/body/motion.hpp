@@ -1,0 +1,35 @@
+// Involuntary body motion (posture sway).
+//
+// Even a "still" seated subject drifts by millimetres at well below the
+// breathing band. The sway process is a deterministic function of time
+// (a sum of incommensurate low-frequency sinusoids with seeded random
+// phases) so the simulator can evaluate positions at arbitrary
+// timestamps without integrating a stochastic ODE.
+#pragma once
+
+#include <cstdint>
+
+#include "common/geometry.hpp"
+
+namespace tagbreathe::body {
+
+class SwayProcess {
+ public:
+  /// `amplitude_m` is the peak horizontal displacement. Frequencies are
+  /// drawn in [0.02, 0.15] Hz — below or at the very bottom of the
+  /// breathing band, so most sway is removed by detrending.
+  SwayProcess(double amplitude_m, std::uint64_t seed);
+
+  /// Horizontal sway offset at time t (z component always 0).
+  common::Vec3 offset(double t) const noexcept;
+
+ private:
+  static constexpr int kComponents = 4;
+  double amp_[kComponents];
+  double freq_hz_[kComponents];
+  double phase_[kComponents];
+  double dir_x_[kComponents];
+  double dir_y_[kComponents];
+};
+
+}  // namespace tagbreathe::body

@@ -1,0 +1,159 @@
+#include "body/subject.hpp"
+
+#include <cmath>
+
+namespace tagbreathe::body {
+
+using common::Vec3;
+
+const char* posture_name(Posture p) noexcept {
+  switch (p) {
+    case Posture::Sitting: return "sitting";
+    case Posture::Standing: return "standing";
+    case Posture::Lying: return "lying";
+  }
+  return "?";
+}
+
+const char* tag_site_name(TagSite s) noexcept {
+  switch (s) {
+    case TagSite::Chest: return "chest";
+    case TagSite::Mid: return "mid";
+    case TagSite::Abdomen: return "abdomen";
+  }
+  return "?";
+}
+
+Subject::Subject(SubjectConfig config, BreathingModel model)
+    : config_(config),
+      model_(std::move(model)),
+      sway_(config.sway_amplitude_m,
+            config.sway_seed ^ config.user_id) {}
+
+const std::vector<TagSite>& Subject::all_sites() {
+  static const std::vector<TagSite> sites{TagSite::Chest, TagSite::Mid,
+                                          TagSite::Abdomen};
+  return sites;
+}
+
+double Subject::site_height(TagSite site) const noexcept {
+  switch (config_.posture) {
+    case Posture::Sitting:
+      switch (site) {
+        case TagSite::Chest: return 1.20;
+        case TagSite::Mid: return 1.05;
+        case TagSite::Abdomen: return 0.90;
+      }
+      break;
+    case Posture::Standing:
+      switch (site) {
+        case TagSite::Chest: return 1.35;
+        case TagSite::Mid: return 1.18;
+        case TagSite::Abdomen: return 1.02;
+      }
+      break;
+    case Posture::Lying:
+      // On a bed: chest-wall surface ~0.75 m above the floor for all
+      // sites; they separate along the body axis instead.
+      return 0.75;
+  }
+  return 1.0;
+}
+
+double Subject::site_amplitude(TagSite site) const noexcept {
+  // Chest breathers move the rib cage most; abdominal breathers the
+  // belly. All sites move in phase (Sec. IV-D.1), only amplitude varies.
+  const double chest_w = config_.chest_style;
+  const double abd_w = 1.0 - chest_w;
+  double relative = 1.0;
+  switch (site) {
+    case TagSite::Chest: relative = 0.55 + 0.75 * chest_w; break;
+    case TagSite::Mid: relative = 0.85; break;
+    case TagSite::Abdomen: relative = 0.55 + 0.75 * abd_w; break;
+  }
+  // Supine breathing is predominantly abdominal and slightly larger.
+  if (config_.posture == Posture::Lying) {
+    if (site == TagSite::Abdomen) relative *= 1.25;
+    if (site == TagSite::Chest) relative *= 0.8;
+  }
+  return config_.base_amplitude_m * relative;
+}
+
+Vec3 Subject::facing() const noexcept {
+  if (config_.posture == Posture::Lying) return Vec3{0.0, 0.0, 1.0};
+  return Vec3{std::cos(config_.heading_rad), std::sin(config_.heading_rad),
+              0.0};
+}
+
+Vec3 Subject::tag_position(TagSite site, double t) const noexcept {
+  const Vec3 face = facing();
+  Vec3 base = config_.position;
+  base.z = 0.0;
+
+  Vec3 site_point;
+  if (config_.posture == Posture::Lying) {
+    // Body axis along the heading; sites separate along it while the
+    // chest surface points up.
+    const Vec3 axis{std::cos(config_.heading_rad),
+                    std::sin(config_.heading_rad), 0.0};
+    double along = 0.0;
+    switch (site) {
+      case TagSite::Chest: along = 0.25; break;
+      case TagSite::Mid: along = 0.05; break;
+      case TagSite::Abdomen: along = -0.15; break;
+    }
+    site_point = base + axis * along;
+    site_point.z = site_height(site);
+  } else {
+    // Upright: tags on the front torso surface at site heights.
+    site_point = base + face * config_.torso_radius_m;
+    site_point.z = site_height(site);
+  }
+
+  // Breathing moves the wall mainly outward along the facing normal, but
+  // the torso circumference grows too: each site's wall normal is tilted
+  // a few degrees off dead-ahead (tags never sit at the exact sagittal
+  // centre), and the chest rises. The off-axis components are what keeps
+  // a side-viewed (90 deg) tag observable at all (Fig. 16's 85%); their
+  // signs differ per site, which is why the fusion stage sign-aligns
+  // streams before summing.
+  const double disp = model_.displacement_m(t, site_amplitude(site));
+  if (config_.posture == Posture::Lying) {
+    site_point += face * disp;
+    // Supine: the secondary motion is along the body axis (abdomen wall
+    // pushes headward) — facing is +z, so the off-axis term follows the
+    // body axis.
+    const Vec3 axis{std::cos(config_.heading_rad),
+                    std::sin(config_.heading_rad), 0.0};
+    site_point += axis * (0.20 * disp);
+  } else {
+    double azimuth_offset = 0.0;  // wall-normal tilt per site [rad]
+    switch (site) {
+      case TagSite::Chest: azimuth_offset = 0.21; break;    // ~12 deg
+      case TagSite::Mid: azimuth_offset = -0.14; break;     // ~-8 deg
+      case TagSite::Abdomen: azimuth_offset = 0.10; break;  // ~6 deg
+    }
+    const Vec3 normal = common::rotate_z(face, azimuth_offset);
+    const Vec3 up{0.0, 0.0, 1.0};
+    site_point += normal * disp + up * (0.22 * disp);
+  }
+
+  // Sway shifts the whole torso (all sites coherently).
+  site_point += sway_.offset(t);
+  return site_point;
+}
+
+double Subject::orientation_to(const Vec3& point) const noexcept {
+  if (config_.posture == Posture::Lying) {
+    // Orientation defined against the upward chest normal.
+    Vec3 to_point = point - tag_position(TagSite::Mid, 0.0);
+    return common::angle_between(facing(), to_point);
+  }
+  Vec3 centre = config_.position;
+  centre.z = 0.0;
+  Vec3 to_point = point - centre;
+  to_point.z = 0.0;  // horizontal-plane angle, as in the paper's Fig. 15a
+  return common::angle_between(facing(), to_point);
+}
+
+}  // namespace tagbreathe::body

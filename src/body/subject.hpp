@@ -1,0 +1,93 @@
+// Human-subject deployment model.
+//
+// A Subject is a torso with up to three tag sites (the paper's placement:
+// chest, lower abdomen, one in between — Sec. IV-D.1), a posture, a world
+// position/heading, and a BreathingModel driving the wall displacement.
+// The RFID simulator queries tag world positions at read time; breathing
+// physically moves the tags, which is what modulates phase (Eq. 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "body/breathing_model.hpp"
+#include "body/motion.hpp"
+#include "common/geometry.hpp"
+
+namespace tagbreathe::body {
+
+enum class Posture { Sitting, Standing, Lying };
+
+const char* posture_name(Posture p) noexcept;
+
+/// Tag attachment sites on the upper body (paper Sec. IV-D.1).
+enum class TagSite { Chest, Mid, Abdomen };
+
+const char* tag_site_name(TagSite s) noexcept;
+
+struct SubjectConfig {
+  std::uint64_t user_id = 1;
+  /// Torso reference point on the ground plane [m] (z ignored).
+  common::Vec3 position{};
+  /// World heading [rad]: direction the subject faces, measured in the
+  /// horizontal plane from the +x axis.
+  double heading_rad = 0.0;
+  Posture posture = Posture::Sitting;
+  /// Chest-vs-abdominal breathing style in [0, 1]: 1 = pure chest
+  /// breather, 0 = pure abdominal breather. The paper observed both
+  /// (Sec. IV-D.1), which motivates the 3-site placement.
+  double chest_style = 0.5;
+  /// Peak chest-wall excursion [m] for the dominant site. Quiet breathing
+  /// moves the wall by ~4-12 mm; metronome-paced breathing (the paper's
+  /// protocol) sits at the deliberate end of that range.
+  double base_amplitude_m = 0.010;
+  /// Torso half-depth [m]: tags sit on the front surface.
+  double torso_radius_m = 0.12;
+  /// Peak torso sway amplitude [m] (involuntary posture drift).
+  double sway_amplitude_m = 0.0010;
+  /// Seed for the sway process.
+  std::uint64_t sway_seed = 0;
+};
+
+/// A subject with an attached breathing model.
+class Subject {
+ public:
+  Subject(SubjectConfig config, BreathingModel model);
+
+  /// World position of a tag at time t, including breathing displacement
+  /// and sway.
+  common::Vec3 tag_position(TagSite site, double t) const noexcept;
+
+  /// Unit vector of the subject's facing direction (horizontal for
+  /// sitting/standing; for lying it is the direction the chest points,
+  /// i.e. straight up).
+  common::Vec3 facing() const noexcept;
+
+  /// Orientation angle [rad, 0..π] between the subject's facing direction
+  /// and the direction from the subject to `point` (e.g. the reader
+  /// antenna). 0 = facing the antenna; π = back turned. This is the
+  /// paper's orientation axis in Figs. 15-16.
+  double orientation_to(const common::Vec3& point) const noexcept;
+
+  /// Breathing displacement amplitude [m] at a site, combining the style
+  /// mix and posture effects.
+  double site_amplitude(TagSite site) const noexcept;
+
+  /// Height [m] of a tag site above ground for the current posture
+  /// (before breathing/sway motion).
+  double site_height(TagSite site) const noexcept;
+
+  const SubjectConfig& config() const noexcept { return config_; }
+  const BreathingModel& breathing() const noexcept { return model_; }
+  std::uint64_t user_id() const noexcept { return config_.user_id; }
+
+  /// All three paper tag sites in placement order.
+  static const std::vector<TagSite>& all_sites();
+
+ private:
+  SubjectConfig config_;
+  BreathingModel model_;
+  SwayProcess sway_;
+};
+
+}  // namespace tagbreathe::body

@@ -1,0 +1,75 @@
+#include "common/csv.hpp"
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace tagbreathe::common {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::span<const std::string> columns)
+    : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  write_header(columns);
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::initializer_list<std::string> columns)
+    : CsvWriter(path, std::span<const std::string>(columns.begin(),
+                                                   columns.size())) {}
+
+void CsvWriter::write_header(std::span<const std::string> columns) {
+  if (columns.empty())
+    throw std::invalid_argument("CsvWriter: empty column list");
+  columns_ = columns.size();
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(columns[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(std::span<const double> values) {
+  if (values.size() != columns_)
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  std::ostringstream line;
+  line.precision(std::numeric_limits<double>::max_digits10);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) line << ',';
+    line << values[i];
+  }
+  out_ << line.str() << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  row(std::span<const double>(values.begin(), values.size()));
+}
+
+void CsvWriter::text_row(std::span<const std::string> cells) {
+  if (cells.size() != columns_)
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+std::string csv_escape(std::string_view cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(cell);
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace tagbreathe::common

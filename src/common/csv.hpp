@@ -1,0 +1,44 @@
+// Minimal CSV writer for experiment traces.
+//
+// Bench binaries can dump the series behind each reproduced figure so the
+// plots can be regenerated with any external plotting tool.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tagbreathe::common {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on I/O
+  /// failure.
+  CsvWriter(const std::string& path, std::span<const std::string> columns);
+  CsvWriter(const std::string& path,
+            std::initializer_list<std::string> columns);
+
+  /// Writes one row; values are formatted with max_digits10 precision.
+  void row(std::span<const double> values);
+  void row(std::initializer_list<double> values);
+
+  /// Mixed row of preformatted cells.
+  void text_row(std::span<const std::string> cells);
+
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  void write_header(std::span<const std::string> columns);
+
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+};
+
+/// Escapes a cell per RFC 4180 (quotes cells containing comma/quote/newline).
+std::string csv_escape(std::string_view cell);
+
+}  // namespace tagbreathe::common

@@ -1,0 +1,66 @@
+// Minimal 3D vector geometry for the deployment model (antenna and tag
+// positions, facing directions, radial motion components).
+#pragma once
+
+#include <cmath>
+
+namespace tagbreathe::common {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3 operator+(const Vec3& o) const noexcept {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const noexcept {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const noexcept {
+    return {x * s, y * s, z * s};
+  }
+  constexpr Vec3& operator+=(const Vec3& o) noexcept {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr double dot(const Vec3& o) const noexcept {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  double norm() const noexcept { return std::sqrt(dot(*this)); }
+
+  /// Unit vector; the zero vector normalises to itself.
+  Vec3 normalized() const noexcept {
+    const double n = norm();
+    if (n <= 0.0) return {};
+    return {x / n, y / n, z / n};
+  }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) noexcept { return v * s; }
+
+inline double distance(const Vec3& a, const Vec3& b) noexcept {
+  return (a - b).norm();
+}
+
+/// Angle [rad] between two vectors in [0, π]; 0 if either is zero.
+inline double angle_between(const Vec3& a, const Vec3& b) noexcept {
+  const double na = a.norm();
+  const double nb = b.norm();
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  double c = a.dot(b) / (na * nb);
+  if (c > 1.0) c = 1.0;
+  if (c < -1.0) c = -1.0;
+  return std::acos(c);
+}
+
+/// Rotates `v` about the +z (vertical) axis by `radians` (right-handed).
+inline Vec3 rotate_z(const Vec3& v, double radians) noexcept {
+  const double c = std::cos(radians);
+  const double s = std::sin(radians);
+  return {c * v.x - s * v.y, s * v.x + c * v.y, v.z};
+}
+
+}  // namespace tagbreathe::common

@@ -1,0 +1,93 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace tagbreathe::common {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty())
+    throw std::invalid_argument("ConsoleTable: empty header list");
+}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("ConsoleTable: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void ConsoleTable::add_row(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double c : cells) formatted.push_back(fmt(c, precision));
+  add_row(std::move(formatted));
+}
+
+std::string ConsoleTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    widths[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << "| " << row[i]
+          << std::string(widths[i] - row[i].size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+  emit_row(headers_);
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    out << "|" << std::string(widths[i] + 2, '-');
+  out << "|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void ConsoleTable::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string ascii_bar(double value, double max_value, int width) {
+  if (width <= 0 || max_value <= 0.0) return {};
+  const double frac = std::clamp(value / max_value, 0.0, 1.0);
+  const int cells = static_cast<int>(std::lround(frac * width));
+  std::string bar(static_cast<std::size_t>(cells), '#');
+  bar += std::string(static_cast<std::size_t>(width - cells), '.');
+  return bar;
+}
+
+std::string sparkline(const std::vector<double>& values) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (values.empty()) return {};
+  double lo = values[0], hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi - lo;
+  std::string out;
+  out.reserve(values.size() * 3);
+  for (double v : values) {
+    int level = span > 0.0
+                    ? static_cast<int>((v - lo) / span * 7.999)
+                    : 0;
+    level = std::clamp(level, 0, 7);
+    out += kLevels[level];
+  }
+  return out;
+}
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace tagbreathe::common

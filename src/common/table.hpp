@@ -1,0 +1,46 @@
+// Console table / ASCII chart rendering for bench output.
+//
+// Each bench binary reprints the rows or series of one paper table/figure;
+// these helpers keep that output aligned and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tagbreathe::common {
+
+/// Column-aligned plain-text table.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row(const std::vector<double>& cells, int precision = 3);
+
+  /// Renders with a header separator; every column padded to its widest
+  /// cell.
+  std::string to_string() const;
+
+  /// Renders straight to stdout.
+  void print() const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a horizontal ASCII bar of `width` cells proportional to
+/// value/max_value. Used to sketch figure shapes in bench output.
+std::string ascii_bar(double value, double max_value, int width = 40);
+
+/// Renders a one-line "sparkline" of a series using block characters.
+std::string sparkline(const std::vector<double>& values);
+
+/// Formats a double with fixed precision (helper for table cells).
+std::string fmt(double value, int precision = 3);
+
+}  // namespace tagbreathe::common

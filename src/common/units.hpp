@@ -1,0 +1,78 @@
+// Physical constants and unit conversions used throughout TagBreathe.
+//
+// All internal computation uses SI base units: seconds, metres, hertz,
+// radians, watts. dBm and breaths-per-minute (bpm) appear only at the
+// boundaries (reader reports, experiment tables), converted through the
+// helpers below.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace tagbreathe::common {
+
+/// Speed of light in vacuum [m/s]. Free-space propagation is assumed for
+/// UHF backscatter links at the scales the paper evaluates (1-6 m).
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Convert a power in dBm to watts.
+inline double dbm_to_watts(double dbm) noexcept {
+  return 1e-3 * std::pow(10.0, dbm / 10.0);
+}
+
+/// Convert a power in watts to dBm.
+inline double watts_to_dbm(double watts) noexcept {
+  return 10.0 * std::log10(watts / 1e-3);
+}
+
+/// Convert a ratio expressed in dB to a linear power ratio.
+inline double db_to_linear(double db) noexcept {
+  return std::pow(10.0, db / 10.0);
+}
+
+/// Convert a linear power ratio to dB.
+inline double linear_to_db(double ratio) noexcept {
+  return 10.0 * std::log10(ratio);
+}
+
+/// Breaths-per-minute to hertz (the paper quotes rates in bpm; the DSP
+/// works in Hz).
+inline constexpr double bpm_to_hz(double bpm) noexcept { return bpm / 60.0; }
+
+/// Hertz to breaths-per-minute.
+inline constexpr double hz_to_bpm(double hz) noexcept { return hz * 60.0; }
+
+inline constexpr double deg_to_rad(double deg) noexcept {
+  return deg * std::numbers::pi / 180.0;
+}
+
+inline constexpr double rad_to_deg(double rad) noexcept {
+  return rad * 180.0 / std::numbers::pi;
+}
+
+/// Free-space wavelength [m] of a carrier at `freq_hz`.
+inline double wavelength_m(double freq_hz) noexcept {
+  return kSpeedOfLight / freq_hz;
+}
+
+/// Wrap an angle into [0, 2π). Backscatter phase reports (Eq. 1 of the
+/// paper) live in this range.
+inline double wrap_phase_2pi(double radians) noexcept {
+  double r = std::fmod(radians, kTwoPi);
+  if (r < 0.0) r += kTwoPi;
+  return r;
+}
+
+/// Wrap an angle difference into (-π, π]. Used when differencing two
+/// consecutive phase readings (Eq. 3): breathing displacement between
+/// samples is far below λ/4, so the principal value is the true delta.
+inline double wrap_phase_pi(double radians) noexcept {
+  double r = std::fmod(radians + kPi, kTwoPi);
+  if (r < 0.0) r += kTwoPi;
+  return r - kPi;
+}
+
+}  // namespace tagbreathe::common

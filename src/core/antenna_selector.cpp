@@ -1,0 +1,61 @@
+#include "core/antenna_selector.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace tagbreathe::core {
+
+std::vector<AntennaQuality> score_antennas(
+    std::span<const std::vector<TagRead>* const> streams, double window_s,
+    const AntennaSelectorConfig& config) {
+  struct Accum {
+    std::size_t reads = 0;
+    double rssi_sum = 0.0;
+  };
+  std::map<std::uint8_t, Accum> by_antenna;
+  for (const auto* stream : streams) {
+    for (const TagRead& r : *stream) {
+      Accum& a = by_antenna[r.antenna_id];
+      ++a.reads;
+      a.rssi_sum += r.rssi_dbm;
+    }
+  }
+
+  std::vector<AntennaQuality> out;
+  out.reserve(by_antenna.size());
+  for (const auto& [antenna, acc] : by_antenna) {
+    AntennaQuality q;
+    q.antenna_id = antenna;
+    q.read_rate_hz =
+        window_s > 0.0 ? static_cast<double>(acc.reads) / window_s : 0.0;
+    q.mean_rssi_dbm =
+        acc.reads > 0 ? acc.rssi_sum / static_cast<double>(acc.reads) : -120.0;
+
+    const double rate_norm =
+        config.rate_ceil_hz > 0.0
+            ? std::clamp(q.read_rate_hz / config.rate_ceil_hz, 0.0, 1.0)
+            : 0.0;
+    const double rssi_span = config.rssi_ceil_dbm - config.rssi_floor_dbm;
+    const double rssi_norm =
+        rssi_span > 0.0
+            ? std::clamp((q.mean_rssi_dbm - config.rssi_floor_dbm) / rssi_span,
+                         0.0, 1.0)
+            : 0.0;
+    q.score = config.rate_weight * rate_norm + config.rssi_weight * rssi_norm;
+    out.push_back(q);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AntennaQuality& a, const AntennaQuality& b) {
+              return a.score > b.score;
+            });
+  return out;
+}
+
+std::uint8_t select_antenna(
+    std::span<const std::vector<TagRead>* const> streams, double window_s,
+    const AntennaSelectorConfig& config) {
+  const auto scored = score_antennas(streams, window_s, config);
+  return scored.empty() ? 0 : scored.front().antenna_id;
+}
+
+}  // namespace tagbreathe::core

@@ -1,0 +1,50 @@
+// Baseline extractors from the other low-level fields (Sec. IV-A.1/2 and
+// IV-D.2).
+//
+// The paper characterises RSSI (periodic but coarse: 0.5 dBm resolution)
+// and raw Doppler (periodic envelope but very noisy: the intra-packet Δθ
+// divides by a tiny 4πΔT) before settling on phase. These baselines make
+// that comparison executable: the same fusion/filter/zero-crossing tail
+// fed from RSSI or Doppler instead of phase-derived displacement.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/breath_extractor.hpp"
+#include "core/rate_estimator.hpp"
+#include "core/types.hpp"
+
+namespace tagbreathe::core {
+
+enum class BaselineKind {
+  Rssi,     // breath from RSSI readings directly
+  Doppler,  // breath from integrated raw Doppler (velocity -> displacement)
+};
+
+const char* baseline_kind_name(BaselineKind kind) noexcept;
+
+struct BaselineConfig {
+  BaselineKind kind = BaselineKind::Rssi;
+  /// Uniform resampling rate for the irregular report stream.
+  double resample_hz = 20.0;
+  /// Gaps longer than this are bridged by hold-last instead of a ramp.
+  double max_gap_s = 1.0;
+  ExtractorConfig extractor{};
+  RateEstimatorConfig rate{};
+};
+
+struct BaselineResult {
+  std::uint64_t user_id = 0;
+  double rate_bpm = 0.0;
+  bool reliable = false;
+  BreathSignal breath;
+  std::size_t reads_used = 0;
+};
+
+/// Runs the baseline for every user in the window.
+std::vector<BaselineResult> analyze_baseline(std::span<const TagRead> reads,
+                                             const BaselineConfig& config);
+
+}  // namespace tagbreathe::core

@@ -1,0 +1,126 @@
+#include "core/breath_extractor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "signal/filters.hpp"
+#include "signal/fir.hpp"
+#include "signal/spectrum.hpp"
+
+namespace tagbreathe::core {
+
+const char* filter_kind_name(FilterKind kind) noexcept {
+  switch (kind) {
+    case FilterKind::FftLowpass: return "fft-lowpass";
+    case FilterKind::FirLowpass: return "fir-lowpass";
+  }
+  return "?";
+}
+
+std::vector<double> BreathSignal::values() const {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(s.value);
+  return out;
+}
+
+std::vector<double> BreathSignal::times() const {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(s.time_s);
+  return out;
+}
+
+BreathExtractor::BreathExtractor(ExtractorConfig config) : config_(config) {
+  if (config_.cutoff_hz <= 0.0)
+    throw std::invalid_argument("BreathExtractor: cutoff must be positive");
+  if (config_.low_cut_hz < 0.0 || config_.low_cut_hz >= config_.cutoff_hz)
+    throw std::invalid_argument(
+        "BreathExtractor: low cut must be in [0, cutoff)");
+}
+
+BreathSignal BreathExtractor::extract(
+    std::span<const signal::TimedSample> track,
+    double sample_rate_hz) const {
+  if (sample_rate_hz <= 0.0)
+    throw std::invalid_argument("BreathExtractor: bad sample rate");
+
+  BreathSignal out;
+  out.sample_rate_hz = sample_rate_hz;
+  if (track.size() < 4) return out;
+
+  std::vector<double> values;
+  values.reserve(track.size());
+  for (const auto& s : track) values.push_back(s.value);
+
+  if (config_.detrend) signal::detrend_linear(values);
+
+  // Effective pass band: the configured [low_cut, cutoff], optionally
+  // narrowed around the located spectral peak.
+  double band_lo = config_.low_cut_hz;
+  double band_hi = config_.cutoff_hz;
+  if (config_.adaptive_band) {
+    const double floor_hz =
+        std::max(config_.low_cut_hz, config_.peak_search_floor_hz);
+    // Seed the band from the autocorrelation fundamental of the
+    // coarse-low-passed track: the ACF pools the fundamental and its
+    // harmonics at the true period and tolerates the track's mixed
+    // white + random-walk noise far better than spectral peak-picking.
+    const std::vector<double> coarse = signal::fft_lowpass(
+        values, sample_rate_hz, config_.cutoff_hz, /*remove_dc=*/true);
+    const double f0 = signal::autocorrelation_fundamental(
+        coarse, sample_rate_hz, floor_hz, config_.cutoff_hz);
+    if (f0 > 0.0) {
+      band_lo = std::max(band_lo, config_.adaptive_lo_frac * f0);
+      band_hi = std::min(band_hi, config_.adaptive_hi_frac * f0);
+      if (band_hi <= band_lo) {  // degenerate: fall back to full band
+        band_lo = config_.low_cut_hz;
+        band_hi = config_.cutoff_hz;
+      }
+    }
+  }
+
+  std::vector<double> filtered;
+  switch (config_.filter) {
+    case FilterKind::FftLowpass: {
+      if (band_lo > 0.0) {
+        filtered =
+            signal::fft_bandpass(values, sample_rate_hz, band_lo, band_hi);
+      } else {
+        filtered = signal::fft_lowpass(values, sample_rate_hz, band_hi,
+                                       /*remove_dc=*/true);
+      }
+      break;
+    }
+    case FilterKind::FirLowpass: {
+      // Nyquist guard: with very slow fused streams the requested cutoff
+      // may not fit; clamp into the valid design range.
+      const double nyquist = sample_rate_hz / 2.0;
+      const double cutoff = std::min(band_hi, 0.9 * nyquist);
+      std::size_t taps =
+          signal::suggest_num_taps(config_.fir_transition_hz, sample_rate_hz);
+      // Keep the kernel shorter than the window (filtfilt needs room).
+      const std::size_t max_taps =
+          track.size() % 2 == 0 ? track.size() - 1 : track.size();
+      if (taps > max_taps) taps = max_taps % 2 == 0 ? max_taps - 1 : max_taps;
+      if (taps < 3) return out;
+      const auto kernel =
+          band_lo > 0.0
+              ? signal::design_bandpass(band_lo, cutoff, sample_rate_hz, taps)
+              : signal::design_lowpass(cutoff, sample_rate_hz, taps);
+      filtered = signal::filtfilt(values, kernel);
+      // The FIR band-pass does not remove DC exactly when low_cut = 0;
+      // subtract the mean for a symmetric zero-crossing signal.
+      common::remove_mean(filtered);
+      break;
+    }
+  }
+
+  out.samples.reserve(track.size());
+  for (std::size_t i = 0; i < track.size(); ++i)
+    out.samples.push_back(signal::TimedSample{track[i].time_s, filtered[i]});
+  return out;
+}
+
+}  // namespace tagbreathe::core

@@ -1,0 +1,96 @@
+#include "core/breath_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace tagbreathe::core {
+
+BreathStats analyze_breaths(std::span<const signal::TimedSample> breath,
+                            const RateEstimate& estimate) {
+  BreathStats stats;
+
+  // Rising crossing times delimit full cycles.
+  std::vector<double> rising;
+  for (const auto& c : estimate.crossings) {
+    if (c.direction == signal::CrossingDirection::Rising)
+      rising.push_back(c.time_s);
+  }
+  if (rising.size() < 2) return stats;
+
+  std::size_t cursor = 0;
+  for (std::size_t i = 1; i < rising.size(); ++i) {
+    Breath b;
+    b.start_s = rising[i - 1];
+    b.duration_s = rising[i] - rising[i - 1];
+    // Peak |signal| within the cycle.
+    while (cursor < breath.size() && breath[cursor].time_s < b.start_s)
+      ++cursor;
+    double peak = 0.0;
+    for (std::size_t j = cursor;
+         j < breath.size() && breath[j].time_s < rising[i]; ++j)
+      peak = std::max(peak, std::abs(breath[j].value));
+    b.amplitude = peak;
+    stats.breaths.push_back(b);
+  }
+
+  std::vector<double> durations, amplitudes;
+  for (const Breath& b : stats.breaths) {
+    durations.push_back(b.duration_s);
+    amplitudes.push_back(b.amplitude);
+  }
+  const double mean_duration = common::mean(durations);
+  if (mean_duration > 0.0)
+    stats.mean_rate_bpm = 60.0 / mean_duration;
+  stats.interval_sd_s = common::stddev(durations);
+  stats.interval_cv =
+      mean_duration > 0.0 ? stats.interval_sd_s / mean_duration : 0.0;
+
+  if (durations.size() >= 2) {
+    double acc = 0.0;
+    for (std::size_t i = 1; i < durations.size(); ++i) {
+      const double d = durations[i] - durations[i - 1];
+      acc += d * d;
+    }
+    stats.interval_rmssd_s =
+        std::sqrt(acc / static_cast<double>(durations.size() - 1));
+  }
+
+  stats.mean_amplitude = common::mean(amplitudes);
+  const double lo = common::min_value(amplitudes);
+  const double hi = common::max_value(amplitudes);
+  stats.amplitude_range_ratio = lo > 0.0 ? hi / lo : 1.0;
+  return stats;
+}
+
+std::vector<BreathPause> detect_pauses(const BreathStats& stats,
+                                       const BreathStatsConfig& config) {
+  std::vector<BreathPause> pauses;
+  if (stats.breaths.size() < 3) return pauses;
+  std::vector<double> durations;
+  for (const Breath& b : stats.breaths) durations.push_back(b.duration_s);
+  const double typical = common::median(durations);
+  if (typical <= 0.0) return pauses;
+
+  for (const Breath& b : stats.breaths) {
+    if (b.duration_s > config.pause_factor * typical) {
+      // The pause is the stretch of the over-long cycle beyond a normal
+      // breath.
+      BreathPause p;
+      p.start_s = b.start_s + typical;
+      p.duration_s = b.duration_s - typical;
+      pauses.push_back(p);
+    }
+  }
+  return pauses;
+}
+
+bool is_irregular(const BreathStats& stats,
+                  const BreathStatsConfig& config) {
+  if (stats.breaths.size() < 4) return false;
+  return stats.interval_cv > config.irregular_cv;
+}
+
+}  // namespace tagbreathe::core

@@ -1,0 +1,71 @@
+// Breath-to-breath analysis (extension).
+//
+// The paper's introduction motivates more than a mean rate: deep vs
+// shallow breathing, "irregular breathing patterns alternating between
+// fast and slow with occasional pauses". This module derives per-breath
+// intervals from the extracted signal's rising zero crossings and
+// computes the standard interval-variability statistics (by analogy to
+// heart-rate variability), a regularity classification, and pause
+// detection.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/rate_estimator.hpp"
+
+namespace tagbreathe::core {
+
+/// One detected breath (a full cycle between consecutive rising
+/// crossings).
+struct Breath {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  /// Peak |amplitude| of the breath signal within the cycle [same units
+  /// as the displacement track, metres].
+  double amplitude = 0.0;
+};
+
+struct BreathStats {
+  std::vector<Breath> breaths;
+
+  double mean_rate_bpm = 0.0;
+  /// Standard deviation of breath durations [s] (the "SDNN" analogue).
+  double interval_sd_s = 0.0;
+  /// Root mean square of successive duration differences [s] ("RMSSD").
+  double interval_rmssd_s = 0.0;
+  /// Coefficient of variation of durations (SD / mean).
+  double interval_cv = 0.0;
+  /// Mean breath amplitude.
+  double mean_amplitude = 0.0;
+  /// Ratio of the deepest to the shallowest breath amplitude.
+  double amplitude_range_ratio = 1.0;
+};
+
+struct BreathPause {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+};
+
+struct BreathStatsConfig {
+  /// A gap between breaths longer than this multiple of the median
+  /// breath duration is reported as a pause.
+  double pause_factor = 1.8;
+  /// Regularity: CV above this is classified irregular.
+  double irregular_cv = 0.25;
+};
+
+/// Derives per-breath statistics from an extracted breath signal and its
+/// crossing set (as produced by ZeroCrossingRateEstimator).
+BreathStats analyze_breaths(std::span<const signal::TimedSample> breath,
+                            const RateEstimate& estimate);
+
+/// Pauses: inter-breath gaps far longer than the median breath.
+std::vector<BreathPause> detect_pauses(const BreathStats& stats,
+                                       const BreathStatsConfig& config = {});
+
+/// True if the interval variability marks the pattern irregular.
+bool is_irregular(const BreathStats& stats,
+                  const BreathStatsConfig& config = {});
+
+}  // namespace tagbreathe::core

@@ -1,0 +1,105 @@
+#include "core/demux.hpp"
+
+#include <algorithm>
+
+namespace tagbreathe::core {
+
+StreamDemux::StreamDemux(std::vector<std::uint64_t> monitored_users)
+    : monitored_users_(std::move(monitored_users)) {
+  std::sort(monitored_users_.begin(), monitored_users_.end());
+}
+
+bool StreamDemux::is_monitored(std::uint64_t user_id) const noexcept {
+  if (monitored_users_.empty()) return true;
+  return std::binary_search(monitored_users_.begin(), monitored_users_.end(),
+                            user_id);
+}
+
+void StreamDemux::add(const TagRead& read) {
+  std::uint64_t user;
+  std::uint32_t tag;
+  if (registry_ != nullptr) {
+    // Mapping-table mode: only registered EPCs are monitoring tags.
+    const auto identity = registry_->lookup(read.epc);
+    if (!identity) {
+      ++ignored_;
+      return;
+    }
+    user = identity->user_id;
+    tag = identity->tag_id;
+  } else {
+    user = read.epc.user_id();
+    tag = read.epc.tag_id();
+  }
+  if (!is_monitored(user)) {
+    ++ignored_;
+    return;
+  }
+  const StreamKey key{user, tag, read.antenna_id};
+  streams_[key].push_back(read);
+  ++accepted_;
+}
+
+void StreamDemux::add(std::span<const TagRead> reads) {
+  for (const TagRead& r : reads) add(r);
+}
+
+std::vector<const std::vector<TagRead>*> StreamDemux::streams_for_user(
+    std::uint64_t user_id) const {
+  std::vector<const std::vector<TagRead>*> out;
+  for (const auto& [key, stream] : streams_) {
+    if (key.user_id == user_id && !stream.empty()) out.push_back(&stream);
+  }
+  return out;
+}
+
+std::vector<const std::vector<TagRead>*> StreamDemux::streams_for_user_antenna(
+    std::uint64_t user_id, std::uint8_t antenna_id) const {
+  std::vector<const std::vector<TagRead>*> out;
+  for (const auto& [key, stream] : streams_) {
+    if (key.user_id == user_id && key.antenna_id == antenna_id &&
+        !stream.empty())
+      out.push_back(&stream);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> StreamDemux::antennas_for_user(
+    std::uint64_t user_id) const {
+  std::vector<std::uint8_t> out;
+  for (const auto& [key, stream] : streams_) {
+    if (key.user_id != user_id || stream.empty()) continue;
+    if (std::find(out.begin(), out.end(), key.antenna_id) == out.end())
+      out.push_back(key.antenna_id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint64_t> StreamDemux::users() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& [key, stream] : streams_) {
+    if (stream.empty()) continue;
+    if (std::find(out.begin(), out.end(), key.user_id) == out.end())
+      out.push_back(key.user_id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void StreamDemux::clear() noexcept {
+  streams_.clear();
+  accepted_ = 0;
+  ignored_ = 0;
+}
+
+void StreamDemux::evict_before(double cutoff_s) {
+  for (auto& [key, stream] : streams_) {
+    const auto first_kept = std::find_if(
+        stream.begin(), stream.end(),
+        [cutoff_s](const TagRead& r) { return r.time_s >= cutoff_s; });
+    stream.erase(stream.begin(), first_kept);
+  }
+}
+
+}  // namespace tagbreathe::core

@@ -1,0 +1,84 @@
+// Stream demultiplexing (Sec. IV-C, Fig. 9/10).
+//
+// Every read carries an EPC whose leading 64 bits are the user ID and
+// trailing 32 bits the short tag ID (monitoring tags are rewritten that
+// way before deployment). Phase differencing is only valid within one
+// (user, tag, antenna) stream — different tags and different antenna
+// geometries have unrelated phase offsets — so the demux keys on all
+// three, while fusion later regroups the streams per user.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/tag_registry.hpp"
+#include "core/types.hpp"
+
+namespace tagbreathe::core {
+
+/// Identity of one differencable phase stream.
+struct StreamKey {
+  std::uint64_t user_id = 0;
+  std::uint32_t tag_id = 0;
+  std::uint8_t antenna_id = 0;
+
+  friend bool operator==(const StreamKey&, const StreamKey&) = default;
+  friend auto operator<=>(const StreamKey&, const StreamKey&) = default;
+};
+
+class StreamDemux {
+ public:
+  /// `monitored_users` restricts grouping to known user IDs; reads from
+  /// other EPCs (item-labelling tags) are counted but not stored. An
+  /// empty list accepts every user ID seen.
+  explicit StreamDemux(std::vector<std::uint64_t> monitored_users = {});
+
+  /// Identity resolution through an EPC mapping table (Sec. IV-C's
+  /// fallback when tag-ID overwriting is unsupported): reads whose EPC
+  /// is registered are grouped under the mapped (user, tag); unknown
+  /// EPCs are ignored. The registry must outlive the demux. Passing
+  /// nullptr reverts to the Fig. 9 bit-layout decoding.
+  void set_registry(const TagRegistry* registry) noexcept {
+    registry_ = registry;
+  }
+
+  void add(const TagRead& read);
+  void add(std::span<const TagRead> reads);
+
+  /// All streams of one user, keyed by (tag, antenna).
+  std::vector<const std::vector<TagRead>*> streams_for_user(
+      std::uint64_t user_id) const;
+
+  /// Streams of one user restricted to one antenna.
+  std::vector<const std::vector<TagRead>*> streams_for_user_antenna(
+      std::uint64_t user_id, std::uint8_t antenna_id) const;
+
+  /// Antenna ports that reported any read for this user.
+  std::vector<std::uint8_t> antennas_for_user(std::uint64_t user_id) const;
+
+  /// User IDs with at least one stored read, ascending.
+  std::vector<std::uint64_t> users() const;
+
+  std::size_t total_reads() const noexcept { return accepted_ + ignored_; }
+  std::size_t accepted_reads() const noexcept { return accepted_; }
+  std::size_t ignored_reads() const noexcept { return ignored_; }
+
+  void clear() noexcept;
+
+  /// Drops all reads older than `cutoff_s` (sliding-window pipelines call
+  /// this to bound memory over long sessions).
+  void evict_before(double cutoff_s);
+
+ private:
+  bool is_monitored(std::uint64_t user_id) const noexcept;
+
+  std::vector<std::uint64_t> monitored_users_;
+  const TagRegistry* registry_ = nullptr;
+  std::map<StreamKey, std::vector<TagRead>> streams_;
+  std::size_t accepted_ = 0;
+  std::size_t ignored_ = 0;
+};
+
+}  // namespace tagbreathe::core

@@ -1,0 +1,104 @@
+#include "core/fusion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tagbreathe::core {
+
+FusedTrack fuse_streams(
+    std::span<const std::vector<signal::TimedSample>> delta_streams,
+    const FusionConfig& config) {
+  double t0 = 0.0, t1 = 0.0;
+  bool any = false;
+  for (const auto& stream : delta_streams) {
+    if (stream.empty()) continue;
+    if (!any) {
+      t0 = stream.front().time_s;
+      t1 = stream.back().time_s;
+      any = true;
+    } else {
+      t0 = std::min(t0, stream.front().time_s);
+      t1 = std::max(t1, stream.back().time_s);
+    }
+  }
+  if (!any) return FusedTrack{{}, {}, 0.0, config.bin_s};
+  return fuse_streams(delta_streams, t0, t1, config);
+}
+
+FusedTrack fuse_streams(
+    std::span<const std::vector<signal::TimedSample>> delta_streams,
+    double t0, double t1, const FusionConfig& config) {
+  if (config.bin_s <= 0.0)
+    throw std::invalid_argument("fuse_streams: bin_s must be positive");
+  if (!config.weights.empty() &&
+      config.weights.size() != delta_streams.size())
+    throw std::invalid_argument("fuse_streams: weight count mismatch");
+
+  FusedTrack out;
+  out.t0 = t0;
+  out.bin_s = config.bin_s;
+  if (t1 < t0) return out;
+
+  const auto bins =
+      static_cast<std::size_t>(std::floor((t1 - t0) / config.bin_s)) + 1;
+
+  // Bin each stream separately first (needed for sign alignment).
+  std::vector<std::vector<double>> per_stream(delta_streams.size());
+  std::vector<std::vector<std::size_t>> per_stream_counts(
+      delta_streams.size());
+  for (std::size_t s = 0; s < delta_streams.size(); ++s) {
+    per_stream[s].assign(bins, 0.0);
+    per_stream_counts[s].assign(bins, 0);
+    const double w = config.weights.empty() ? 1.0 : config.weights[s];
+    for (const signal::TimedSample& d : delta_streams[s]) {
+      if (d.time_s < t0 || d.time_s > t1) continue;
+      const auto bin =
+          static_cast<std::size_t>((d.time_s - t0) / config.bin_s);
+      if (bin >= bins) continue;
+      per_stream[s][bin] += w * d.value;
+      ++per_stream_counts[s][bin];
+    }
+  }
+
+  // Sign alignment: flip any stream whose binned track anti-correlates
+  // with the sum of the others (two passes are enough in practice).
+  std::vector<double> sign(delta_streams.size(), 1.0);
+  if (config.align_signs && delta_streams.size() > 1) {
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t s = 0; s < per_stream.size(); ++s) {
+        double corr = 0.0;
+        for (std::size_t b = 0; b < bins; ++b) {
+          double others = 0.0;
+          for (std::size_t r = 0; r < per_stream.size(); ++r) {
+            if (r != s) others += sign[r] * per_stream[r][b];
+          }
+          corr += sign[s] * per_stream[s][b] * others;
+        }
+        if (corr < 0.0) sign[s] = -sign[s];
+      }
+    }
+  }
+
+  // Eq. 6: sum the (aligned) deltas of all tags per Δt interval.
+  std::vector<double> sums(bins, 0.0);
+  out.bin_counts.assign(bins, 0);
+  for (std::size_t s = 0; s < per_stream.size(); ++s) {
+    for (std::size_t b = 0; b < bins; ++b) {
+      sums[b] += sign[s] * per_stream[s][b];
+      out.bin_counts[b] += per_stream_counts[s][b];
+    }
+  }
+
+  // Eq. 7: integrate the binned sums into the fused track.
+  out.track.reserve(bins);
+  double acc = 0.0;
+  for (std::size_t b = 0; b < bins; ++b) {
+    acc += sums[b];
+    out.track.push_back(signal::TimedSample{
+        t0 + (static_cast<double>(b) + 1.0) * config.bin_s, acc});
+  }
+  return out;
+}
+
+}  // namespace tagbreathe::core

@@ -1,0 +1,132 @@
+#include "core/hybrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.hpp"
+#include "signal/spectrum.hpp"
+
+namespace tagbreathe::core {
+
+double breath_signal_quality(std::span<const signal::TimedSample> breath,
+                             double sample_rate_hz,
+                             const RateEstimate& estimate) {
+  if (breath.size() < 16 || estimate.rate_bpm <= 0.0) return 0.0;
+  std::vector<double> values;
+  values.reserve(breath.size());
+  for (const auto& s : breath) values.push_back(s.value);
+
+  // Band concentration: power within +-30% of the estimated rate over
+  // the whole breathing band.
+  const double f0 = common::bpm_to_hz(estimate.rate_bpm);
+  const double concentration = signal::band_power_ratio(
+      values, sample_rate_hz, 0.7 * f0, 1.3 * f0);
+
+  // Crossing sufficiency: Eq. 5 needs M crossings; saturate at 2M.
+  const double span =
+      breath.back().time_s - breath.front().time_s;
+  const double expected = span > 0.0 ? 2.0 * f0 * span : 0.0;
+  double crossing_factor = 0.0;
+  if (expected > 0.0) {
+    crossing_factor = std::clamp(
+        static_cast<double>(estimate.crossings.size()) / expected, 0.0, 1.0);
+  }
+  return std::clamp(concentration * crossing_factor, 0.0, 1.0);
+}
+
+HybridMonitor::HybridMonitor(HybridConfig config)
+    : config_(std::move(config)) {}
+
+namespace {
+
+ModalityEstimate from_baseline(const BaselineResult& result,
+                               BaselineKind kind, double resample_hz) {
+  ModalityEstimate m;
+  m.source = kind;
+  m.rate_bpm = result.rate_bpm;
+  // Re-run the estimator bookkeeping to score quality consistently.
+  ZeroCrossingRateEstimator estimator;
+  const RateEstimate est = estimator.estimate(result.breath.samples);
+  m.quality = breath_signal_quality(result.breath.samples, resample_hz, est);
+  m.usable = result.rate_bpm > 0.0 && m.quality > 0.0;
+  return m;
+}
+
+}  // namespace
+
+std::vector<HybridResult> HybridMonitor::analyze(
+    std::span<const TagRead> reads) const {
+  std::vector<HybridResult> out;
+  if (reads.empty()) return out;
+
+  BreathMonitor monitor(config_.monitor);
+  auto phase_analyses = monitor.analyze(reads);
+
+  BaselineConfig rssi_cfg = config_.rssi;
+  rssi_cfg.kind = BaselineKind::Rssi;
+  const auto rssi_results = analyze_baseline(reads, rssi_cfg);
+  BaselineConfig dop_cfg = config_.doppler;
+  dop_cfg.kind = BaselineKind::Doppler;
+  const auto dop_results = analyze_baseline(reads, dop_cfg);
+
+  auto find_baseline = [](const std::vector<BaselineResult>& results,
+                          std::uint64_t user) -> const BaselineResult* {
+    for (const auto& r : results)
+      if (r.user_id == user) return &r;
+    return nullptr;
+  };
+
+  for (auto& a : phase_analyses) {
+    HybridResult result;
+    result.user_id = a.user_id;
+
+    result.phase.is_phase = true;
+    result.phase.rate_bpm = a.rate.rate_bpm;
+    result.phase.quality =
+        config_.phase_prior *
+        breath_signal_quality(a.breath.samples, a.track_rate_hz, a.rate);
+    result.phase.usable =
+        a.rate.rate_bpm > 0.0 && result.phase.quality > 0.0;
+
+    if (const auto* r = find_baseline(rssi_results, a.user_id)) {
+      result.rssi =
+          from_baseline(*r, BaselineKind::Rssi, config_.rssi.resample_hz);
+    }
+    if (const auto* d = find_baseline(dop_results, a.user_id)) {
+      result.doppler = from_baseline(*d, BaselineKind::Doppler,
+                                     config_.doppler.resample_hz);
+    }
+
+    // Quality-weighted consensus. Auxiliary modalities *refine* a
+    // healthy phase estimate rather than override it: a noisy RSSI or
+    // Doppler track can be self-consistently wrong (its own band
+    // concentration looks fine around a spurious oscillation), so when
+    // phase is usable only auxiliaries that agree with it to within 30%
+    // enter the consensus. When phase is unusable the auxiliaries are
+    // all that is left and vote freely.
+    double weight_sum = 0.0, weighted_rate = 0.0;
+    const bool phase_ok =
+        result.phase.usable && result.phase.quality >= config_.min_quality;
+    for (const ModalityEstimate* m :
+         {&result.phase, &result.rssi, &result.doppler}) {
+      if (!m->usable || m->quality < config_.min_quality) continue;
+      if (phase_ok && !m->is_phase) {
+        const double rel =
+            std::abs(m->rate_bpm - result.phase.rate_bpm) /
+            result.phase.rate_bpm;
+        if (rel > 0.3) continue;
+      }
+      weight_sum += m->quality;
+      weighted_rate += m->quality * m->rate_bpm;
+    }
+    if (weight_sum > 0.0) {
+      result.rate_bpm = weighted_rate / weight_sum;
+      result.valid = true;
+    }
+    result.analysis = std::move(a);
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace tagbreathe::core

@@ -1,0 +1,77 @@
+// Hybrid low-level-data fusion (the Sec. IV-D.2 enhancement).
+//
+// "One possible enhancement is to fuse the RSSI and Doppler frequency
+// shift with the phase values to improve the monitoring accuracy."
+// This module implements that discussion item: the three low-level
+// modalities are analysed independently (phase through the TagBreathe
+// pipeline; RSSI and integrated Doppler through the baseline path), each
+// estimate is scored by signal quality — how much of the extracted
+// signal's power sits in a narrow band around its own fundamental, and
+// how many clean crossings it produced — and the final rate is the
+// quality-weighted consensus. Phase dominates whenever it is healthy
+// (its quality is almost always the highest, which is the paper's core
+// finding); the auxiliary modalities only move the answer when phase is
+// starved or degenerate.
+#pragma once
+
+#include <span>
+
+#include "core/baselines.hpp"
+#include "core/monitor.hpp"
+
+namespace tagbreathe::core {
+
+struct ModalityEstimate {
+  BaselineKind source = BaselineKind::Rssi;  // meaningless for phase
+  bool is_phase = false;
+  double rate_bpm = 0.0;
+  /// Quality in [0, 1]: band concentration x crossing sufficiency.
+  double quality = 0.0;
+  bool usable = false;
+};
+
+struct HybridResult {
+  std::uint64_t user_id = 0;
+  /// Quality-weighted consensus rate.
+  double rate_bpm = 0.0;
+  /// True when at least one modality was usable.
+  bool valid = false;
+  ModalityEstimate phase;
+  ModalityEstimate rssi;
+  ModalityEstimate doppler;
+  /// The full phase-path analysis (for waveform consumers).
+  UserAnalysis analysis;
+};
+
+struct HybridConfig {
+  MonitorConfig monitor{};
+  BaselineConfig rssi{};
+  BaselineConfig doppler{};
+  /// Modalities below this quality are excluded from the consensus.
+  double min_quality = 0.05;
+  /// Phase quality is scaled by this factor before weighting — the
+  /// paper's characterisation showing phase is the trustworthy modality
+  /// is encoded as a prior, not rediscovered per window.
+  double phase_prior = 3.0;
+};
+
+class HybridMonitor {
+ public:
+  explicit HybridMonitor(HybridConfig config = {});
+
+  std::vector<HybridResult> analyze(std::span<const TagRead> reads) const;
+
+  const HybridConfig& config() const noexcept { return config_; }
+
+ private:
+  HybridConfig config_;
+};
+
+/// Signal quality of an extracted breath signal: fraction of band power
+/// concentrated around the dominant oscillation, scaled by whether
+/// enough crossings exist for Eq. 5. Exposed for tests and ablations.
+double breath_signal_quality(std::span<const signal::TimedSample> breath,
+                             double sample_rate_hz,
+                             const RateEstimate& estimate);
+
+}  // namespace tagbreathe::core

@@ -1,0 +1,19 @@
+// Evaluation metrics (Sec. VI-B, Eq. 8).
+#pragma once
+
+#include <span>
+
+namespace tagbreathe::core {
+
+/// Eq. 8: accuracy = 1 − |R̂ − R| / R. Clamped to [0, 1] (a wildly wrong
+/// estimate cannot score below zero, matching how such plots are read).
+double breathing_rate_accuracy(double estimated_bpm, double true_bpm) noexcept;
+
+/// Absolute error in breaths per minute.
+double rate_error_bpm(double estimated_bpm, double true_bpm) noexcept;
+
+/// Mean Eq. 8 accuracy over paired estimates/truths.
+double mean_accuracy(std::span<const double> estimated_bpm,
+                     std::span<const double> true_bpm);
+
+}  // namespace tagbreathe::core

@@ -1,0 +1,87 @@
+#include "core/monitor.hpp"
+
+#include <algorithm>
+
+namespace tagbreathe::core {
+
+BreathMonitor::BreathMonitor(MonitorConfig config)
+    : config_(std::move(config)) {}
+
+std::vector<UserAnalysis> BreathMonitor::analyze(
+    std::span<const TagRead> reads) const {
+  std::vector<UserAnalysis> out;
+  if (reads.empty()) return out;
+
+  StreamDemux demux;
+  demux.add(reads);
+
+  double t0 = reads.front().time_s;
+  double t1 = reads.front().time_s;
+  for (const TagRead& r : reads) {
+    t0 = std::min(t0, r.time_s);
+    t1 = std::max(t1, r.time_s);
+  }
+
+  for (std::uint64_t user : demux.users())
+    out.push_back(analyze_user(demux, user, t0, t1));
+  return out;
+}
+
+UserAnalysis BreathMonitor::analyze_user(const StreamDemux& demux,
+                                         std::uint64_t user_id, double t0,
+                                         double t1) const {
+  UserAnalysis out;
+  out.user_id = user_id;
+  out.window_s = std::max(t1 - t0, 0.0);
+
+  const auto all_streams = demux.streams_for_user(user_id);
+  if (all_streams.empty()) return out;
+
+  out.antenna_scores = score_antennas(all_streams, out.window_s,
+                                      config_.antenna);
+
+  // Pick the working set of streams: best antenna (default) or all.
+  std::vector<const std::vector<TagRead>*> working;
+  if (config_.select_antenna && !out.antenna_scores.empty()) {
+    out.antenna_used = out.antenna_scores.front().antenna_id;
+    working = demux.streams_for_user_antenna(user_id, out.antenna_used);
+  } else {
+    working = all_streams;
+  }
+  if (!config_.fuse_tags && working.size() > 1) {
+    // Ablation: keep only the busiest stream.
+    const auto busiest = std::max_element(
+        working.begin(), working.end(),
+        [](const std::vector<TagRead>* a, const std::vector<TagRead>* b) {
+          return a->size() < b->size();
+        });
+    working = {*busiest};
+  }
+
+  // Phase preprocessing per stream (Eqs. 3-4).
+  std::vector<std::vector<signal::TimedSample>> delta_streams;
+  delta_streams.reserve(working.size());
+  for (const auto* stream : working) {
+    PhasePreprocessor pre(config_.preprocess);
+    delta_streams.push_back(pre.process(*stream));
+    out.reads_used += stream->size();
+  }
+  out.streams_used = delta_streams.size();
+
+  // Low-level fusion (Eqs. 6-7) over the window.
+  const FusedTrack fused =
+      fuse_streams(delta_streams, t0, t1, config_.fusion);
+  out.fused_track = fused.track;
+  out.track_rate_hz = fused.sample_rate_hz();
+  if (out.fused_track.size() < 8) return out;
+
+  // Breath-signal extraction + rate estimation.
+  const BreathExtractor extractor(config_.extractor);
+  out.breath = extractor.extract(out.fused_track, out.track_rate_hz);
+
+  const ZeroCrossingRateEstimator estimator(config_.rate);
+  out.rate = estimator.estimate(out.breath.samples);
+  return out;
+}
+
+}  // namespace tagbreathe::core

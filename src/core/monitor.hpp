@@ -1,0 +1,81 @@
+// BreathMonitor: the TagBreathe analysis facade (Fig. 10 workflow).
+//
+// Data collection -> demux by user/tag/antenna -> phase preprocessing
+// (Eqs. 3-4) -> low-level fusion of the user's tag array (Eqs. 6-7) ->
+// breath-signal extraction (FFT low-pass) -> zero-crossing rate estimate
+// (Eq. 5). Antenna selection picks the best port per user (Sec. IV-D.3).
+//
+// This is the batch engine: give it a window of low-level reads, get a
+// per-user analysis with every intermediate artefact (the figure benches
+// print them). RealtimePipeline (pipeline.hpp) wraps it for streaming.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/antenna_selector.hpp"
+#include "core/breath_extractor.hpp"
+#include "core/demux.hpp"
+#include "core/fusion.hpp"
+#include "core/phase_preprocess.hpp"
+#include "core/rate_estimator.hpp"
+#include "core/types.hpp"
+
+namespace tagbreathe::core {
+
+struct MonitorConfig {
+  PreprocessConfig preprocess{};
+  FusionConfig fusion{};
+  ExtractorConfig extractor{};
+  RateEstimatorConfig rate{};
+  AntennaSelectorConfig antenna{};
+  /// Fuse all of the user's tag streams (the paper's design). false =
+  /// use only the busiest single stream (ablation: "one tag per user").
+  bool fuse_tags = true;
+  /// Extract from the best-quality antenna only (the paper's design).
+  /// false = fuse streams across all antennas (ablation).
+  bool select_antenna = true;
+};
+
+/// Everything TagBreathe derives for one user from one window.
+struct UserAnalysis {
+  std::uint64_t user_id = 0;
+  /// Antenna the extraction used (0 = none/all).
+  std::uint8_t antenna_used = 0;
+  std::size_t reads_used = 0;
+  std::size_t streams_used = 0;
+  double window_s = 0.0;
+
+  /// Fused displacement track ΔD(t) (Eq. 7) on the Δt grid.
+  std::vector<signal::TimedSample> fused_track;
+  double track_rate_hz = 0.0;
+
+  /// Extracted breath signal (after the low-pass filter).
+  BreathSignal breath;
+
+  /// Rate estimate (Eq. 5) with crossings and instantaneous series.
+  RateEstimate rate;
+
+  /// Quality scores of every antenna that saw this user.
+  std::vector<AntennaQuality> antenna_scores;
+};
+
+class BreathMonitor {
+ public:
+  explicit BreathMonitor(MonitorConfig config = {});
+
+  /// Analyses a window of reads for every monitored user present.
+  std::vector<UserAnalysis> analyze(std::span<const TagRead> reads) const;
+
+  /// Analyses one user from an already-demuxed window spanning [t0, t1].
+  UserAnalysis analyze_user(const StreamDemux& demux, std::uint64_t user_id,
+                            double t0, double t1) const;
+
+  const MonitorConfig& config() const noexcept { return config_; }
+
+ private:
+  MonitorConfig config_;
+};
+
+}  // namespace tagbreathe::core

@@ -1,0 +1,124 @@
+#include "core/phase_preprocess.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace tagbreathe::core {
+
+PhasePreprocessor::PhasePreprocessor(PreprocessConfig config)
+    : config_(config) {}
+
+double PhasePreprocessor::effective_gap_s() const noexcept {
+  if (!config_.adaptive_gap) return config_.max_same_channel_gap_s;
+  // Until the rate estimate settles, be permissive: a fast stream's
+  // same-channel neighbours are milliseconds apart regardless.
+  if (dt_samples_ < 8) return config_.fallback_gap_s;
+  const double rate_hz = ewma_dt_s_ > 0.0 ? 1.0 / ewma_dt_s_ : 0.0;
+  // First decisive classification at the threshold itself, then wide
+  // hysteresis (x0.5 / x1.5): MAC round structure makes the rate
+  // estimate bursty, and flip-flopping between modes mixes crisp and
+  // stale chains, which corrupts the track far more than either mode's
+  // own weaknesses.
+  if (!mode_init_) {
+    fast_mode_ = rate_hz >= config_.fast_stream_hz;
+    mode_init_ = true;
+  }
+  const double up = config_.fast_stream_hz * 1.5;
+  const double down = config_.fast_stream_hz * 0.5;
+  if (fast_mode_) {
+    if (rate_hz < down) fast_mode_ = false;
+  } else {
+    if (rate_hz > up) fast_mode_ = true;
+  }
+  return fast_mode_ ? config_.max_same_channel_gap_s
+                    : config_.fallback_gap_s;
+}
+
+bool PhasePreprocessor::push(const TagRead& read,
+                             signal::TimedSample& delta_out) {
+  ++stats_.reads_in;
+
+  // Update the stream-rate tracker (all channels).
+  if (has_last_time_) {
+    const double dt_any = read.time_s - last_read_time_s_;
+    if (dt_any > 0.0) {
+      constexpr double kAlpha = 0.1;
+      ewma_dt_s_ = dt_samples_ == 0
+                       ? dt_any
+                       : (1.0 - kAlpha) * ewma_dt_s_ + kAlpha * dt_any;
+      ++dt_samples_;
+    }
+  }
+  last_read_time_s_ = read.time_s;
+  has_last_time_ = true;
+
+  auto [it, inserted] = last_by_channel_.try_emplace(
+      read.channel_index, LastReading{read.time_s, read.phase_rad});
+  if (inserted) {
+    ++stats_.first_in_channel;
+    return false;
+  }
+
+  const LastReading prev = it->second;
+  it->second = LastReading{read.time_s, read.phase_rad};
+
+  const double dt = read.time_s - prev.time_s;
+  if (dt <= 0.0) return false;
+  const double gap_limit = effective_gap_s();
+  if (gap_limit > 0.0 && dt > gap_limit) {
+    ++stats_.dropped_gap;
+    return false;
+  }
+
+  // Eq. 3 with the principal-value wrap: Δd = λ/(4π) · Δθ.
+  const double lambda = common::kSpeedOfLight / read.frequency_hz;
+  const double dtheta = common::wrap_phase_pi(read.phase_rad - prev.phase_rad);
+  const double delta_d = lambda / (4.0 * common::kPi) * dtheta;
+
+  if (config_.max_speed_mps > 0.0 &&
+      std::abs(delta_d) / dt > config_.max_speed_mps) {
+    ++stats_.dropped_outlier;
+    return false;
+  }
+
+  delta_out = signal::TimedSample{read.time_s, delta_d};
+  ++stats_.deltas_out;
+  return true;
+}
+
+std::vector<signal::TimedSample> PhasePreprocessor::process(
+    std::span<const TagRead> reads) {
+  std::vector<signal::TimedSample> out;
+  out.reserve(reads.size());
+  signal::TimedSample delta;
+  for (const TagRead& r : reads) {
+    if (push(r, delta)) out.push_back(delta);
+  }
+  return out;
+}
+
+void PhasePreprocessor::reset() noexcept {
+  last_by_channel_.clear();
+  stats_ = PreprocessStats{};
+  ewma_dt_s_ = 0.0;
+  dt_samples_ = 0;
+  last_read_time_s_ = 0.0;
+  has_last_time_ = false;
+  fast_mode_ = false;
+  mode_init_ = false;
+}
+
+std::vector<signal::TimedSample> integrate_displacement(
+    std::span<const signal::TimedSample> deltas) {
+  std::vector<signal::TimedSample> track;
+  track.reserve(deltas.size());
+  double acc = 0.0;
+  for (const signal::TimedSample& d : deltas) {
+    acc += d.value;
+    track.push_back(signal::TimedSample{d.time_s, acc});
+  }
+  return track;
+}
+
+}  // namespace tagbreathe::core

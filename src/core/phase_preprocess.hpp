@@ -1,0 +1,116 @@
+// Phase preprocessing: raw phase reports -> displacement deltas
+// (Sec. IV-A.3, Eqs. 3-4).
+//
+// Raw phase is discontinuous at every channel hop (different λ and offset
+// c per channel, Fig. 4), so displacement is computed from consecutive
+// readings *in the same channel*:
+//
+//     Δd_{i+1} = λ/(4π) · wrap(θ_{i+1} − θ_i)          (Eq. 3)
+//
+// The wrap to (−π, π] is safe because body motion between consecutive
+// readings is far below λ/4 at the reader's sampling rates. Integrating
+// the deltas (Eq. 4) yields a hop-free displacement track (Fig. 6).
+//
+// Robustness guards beyond the paper's formula:
+//   - a delta spanning more than `max_same_channel_gap_s` is dropped
+//     (after a long dropout the λ/4 assumption can fail and the noise of
+//     one delta doubles);
+//   - deltas implying a speed above `max_speed_mps` are rejected as
+//     outliers (multipath flicker produces occasional wild phases).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "signal/interpolate.hpp"
+
+namespace tagbreathe::core {
+
+struct PreprocessConfig {
+  /// Longest same-channel gap still differenced. "Consecutive readings in
+  /// the same frequency channel" means *within one dwell* (~0.2 s):
+  /// within-dwell deltas telescope across back-to-back dwells into the
+  /// physical displacement. Linking across channel *revisits* (~2 s apart
+  /// on the paper plan) must be avoided — it would sum ten stale
+  /// sample-and-hold copies of the displacement, acting as a ~2 s comb
+  /// filter that distorts faster breathing.
+  double max_same_channel_gap_s = 0.3;
+  /// Slow-stream fallback: when contention starves a tag to ~1 read per
+  /// dwell (Figs. 13-14), within-dwell pairs vanish, so deltas across one
+  /// channel *revisit* are accepted instead. A revisit-linked chain holds
+  /// each channel's contribution stale for up to the revisit period
+  /// (~2 s), which is acceptable at the slow default breathing rates that
+  /// dominate contended deployments but would alias fast breathing —
+  /// hence the rate-based switch, not a single large gap.
+  double fallback_gap_s = 2.5;
+  /// Streams reading at or above this rate use the strict within-dwell
+  /// gap; slower streams use the fallback. ~8 Hz gives >= 1.6 reads per
+  /// dwell, enough for within-dwell pairs to carry the track. The switch
+  /// carries +-25% hysteresis so streams near the threshold don't
+  /// flicker between modes (mixing crisp and stale chains distorts the
+  /// track).
+  double fast_stream_hz = 8.0;
+  /// Enables the rate-adaptive gap switch.
+  bool adaptive_gap = true;
+  /// Reject deltas implying faster radial motion than this. Breathing
+  /// wall speed is < 0.05 m/s; 0.5 m/s tolerates posture shifts while
+  /// killing phase outliers.
+  double max_speed_mps = 0.5;
+};
+
+struct PreprocessStats {
+  std::size_t reads_in = 0;
+  std::size_t deltas_out = 0;
+  std::size_t dropped_gap = 0;
+  std::size_t dropped_outlier = 0;
+  std::size_t first_in_channel = 0;
+};
+
+/// Streaming phase-to-displacement converter for ONE (user, tag, antenna)
+/// stream. Feed reads in time order; displacement deltas come out as
+/// timestamped samples.
+class PhasePreprocessor {
+ public:
+  explicit PhasePreprocessor(PreprocessConfig config = {});
+
+  /// Processes one read; returns true and fills `delta_out` when the read
+  /// completes a valid same-channel pair.
+  bool push(const TagRead& read, signal::TimedSample& delta_out);
+
+  /// Batch helper: displacement deltas for a whole stream.
+  std::vector<signal::TimedSample> process(std::span<const TagRead> reads);
+
+  const PreprocessStats& stats() const noexcept { return stats_; }
+  void reset() noexcept;
+
+  /// Gap limit currently in force (diagnostic; depends on the observed
+  /// stream rate when adaptive_gap is set).
+  double effective_gap_s() const noexcept;
+
+ private:
+  struct LastReading {
+    double time_s = 0.0;
+    double phase_rad = 0.0;
+  };
+
+  PreprocessConfig config_;
+  std::map<std::uint16_t, LastReading> last_by_channel_;
+  PreprocessStats stats_;
+  // EWMA of the inter-read interval (any channel) drives the adaptive
+  // gap selection.
+  double ewma_dt_s_ = 0.0;
+  std::size_t dt_samples_ = 0;
+  double last_read_time_s_ = 0.0;
+  bool has_last_time_ = false;
+  mutable bool fast_mode_ = false;
+  mutable bool mode_init_ = false;
+};
+
+/// Eq. 4: integrates deltas into a displacement track anchored at 0.
+std::vector<signal::TimedSample> integrate_displacement(
+    std::span<const signal::TimedSample> deltas);
+
+}  // namespace tagbreathe::core

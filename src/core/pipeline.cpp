@@ -1,0 +1,121 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+namespace tagbreathe::core {
+
+const char* pipeline_event_name(PipelineEventKind kind) noexcept {
+  switch (kind) {
+    case PipelineEventKind::RateUpdate: return "rate-update";
+    case PipelineEventKind::ApneaAlert: return "apnea-alert";
+    case PipelineEventKind::SignalLost: return "signal-lost";
+    case PipelineEventKind::SignalRecovered: return "signal-recovered";
+  }
+  return "?";
+}
+
+RealtimePipeline::RealtimePipeline(PipelineConfig config,
+                                   EventCallback callback)
+    : config_(config),
+      callback_(std::move(callback)),
+      monitor_(config.monitor) {}
+
+void RealtimePipeline::emit(const PipelineEvent& event) {
+  if (callback_) callback_(event);
+}
+
+void RealtimePipeline::push(const TagRead& read) {
+  if (!started_) {
+    started_ = true;
+    start_ = read.time_s;
+    next_update_ = start_ + config_.update_period_s;
+  }
+  // Process any update boundaries that elapsed *before* this read:
+  // after a dropout, the pending updates must still see the silence
+  // (registering the read first would erase the evidence of the outage).
+  advance_to(read.time_s);
+  demux_.add(read);
+  auto& state = user_state_[read.epc.user_id()];
+  state.last_read_s = read.time_s;
+}
+
+void RealtimePipeline::advance_to(double time_s) {
+  if (!started_) return;
+  now_ = std::max(now_, time_s);
+  while (now_ >= next_update_) {
+    update(next_update_);
+    next_update_ += config_.update_period_s;
+  }
+}
+
+void RealtimePipeline::update(double time_s) {
+  const double t0 = std::max(start_, time_s - config_.window_s);
+  demux_.evict_before(t0 - 1.0);  // keep a small margin beyond the window
+
+  if (time_s - start_ < config_.warmup_s) return;
+
+  for (std::uint64_t user : demux_.users()) {
+    UserState& state = user_state_[user];
+
+    // Signal-loss detection runs even when analysis cannot.
+    const bool lost_now = state.last_read_s >= 0.0 &&
+                          time_s - state.last_read_s > config_.signal_loss_s;
+    if (lost_now && !state.lost) {
+      state.lost = true;
+      emit(PipelineEvent{PipelineEventKind::SignalLost, user, time_s, 0.0,
+                         false});
+    } else if (!lost_now && state.lost) {
+      state.lost = false;
+      emit(PipelineEvent{PipelineEventKind::SignalRecovered, user, time_s,
+                         0.0, false});
+    }
+    if (lost_now) continue;
+
+    UserAnalysis analysis = monitor_.analyze_user(demux_, user, t0, time_s);
+    if (!analysis.rate.crossings.empty())
+      state.last_crossing_s = analysis.rate.crossings.back().time_s;
+
+    if (analysis.rate.reliable) state.ever_reliable = true;
+
+    // Apnea: the user is being read but breathing stopped. Crossing
+    // silence alone is not enough — the zero-phase filter rings into a
+    // breath hold and can fabricate crossings — so additionally require
+    // the *recent* breath-signal amplitude to have collapsed relative to
+    // the window's amplitude.
+    bool amplitude_collapsed = false;
+    if (!analysis.breath.samples.empty()) {
+      double window_peak = 0.0, recent_peak = 0.0;
+      const double recent_from = time_s - config_.apnea_silence_s;
+      for (const auto& s : analysis.breath.samples) {
+        window_peak = std::max(window_peak, std::abs(s.value));
+        if (s.time_s >= recent_from)
+          recent_peak = std::max(recent_peak, std::abs(s.value));
+      }
+      amplitude_collapsed =
+          window_peak > 0.0 && recent_peak < 0.3 * window_peak;
+    }
+    const bool crossing_silent =
+        state.last_crossing_s >= 0.0 &&
+        time_s - state.last_crossing_s > config_.apnea_silence_s;
+    const bool apnea_now =
+        state.ever_reliable && (amplitude_collapsed || crossing_silent);
+    if (apnea_now && !state.in_apnea) {
+      state.in_apnea = true;
+      emit(PipelineEvent{PipelineEventKind::ApneaAlert, user, time_s, 0.0,
+                         false});
+    } else if (!apnea_now && state.in_apnea) {
+      state.in_apnea = false;
+    }
+
+    if (!apnea_now) {
+      const double rate = analysis.rate.instantaneous.empty()
+                              ? analysis.rate.rate_bpm
+                              : analysis.rate.instantaneous.back().rate_bpm;
+      emit(PipelineEvent{PipelineEventKind::RateUpdate, user, time_s, rate,
+                         analysis.rate.reliable});
+    }
+    latest_[user] = std::move(analysis);
+  }
+}
+
+}  // namespace tagbreathe::core

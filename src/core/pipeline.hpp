@@ -1,0 +1,104 @@
+// Realtime streaming pipeline (Sec. V: "executed in a pipelined manner
+// ... visualised in realtime").
+//
+// Wraps BreathMonitor in a sliding window: reads are pushed as the reader
+// reports them; every update period the window is re-analysed and events
+// are emitted per user — rate updates (Eq. 5 over the last M crossings),
+// apnea alerts when a previously-breathing user's signal stops crossing
+// zero, and signal-lost warnings when a user's tags stop being read
+// (blocked line of sight, out of range).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/demux.hpp"
+#include "core/monitor.hpp"
+
+namespace tagbreathe::core {
+
+struct PipelineConfig {
+  MonitorConfig monitor{};
+  /// Analysis window length.
+  double window_s = 30.0;
+  /// Re-analysis cadence.
+  double update_period_s = 1.0;
+  /// Minimum window fill before estimates are emitted.
+  double warmup_s = 10.0;
+  /// No zero crossing for this long while reads keep arriving => apnea.
+  double apnea_silence_s = 10.0;
+  /// No reads at all for this long => signal lost.
+  double signal_loss_s = 5.0;
+};
+
+enum class PipelineEventKind : std::uint8_t {
+  RateUpdate,
+  ApneaAlert,
+  SignalLost,
+  SignalRecovered,
+};
+
+const char* pipeline_event_name(PipelineEventKind kind) noexcept;
+
+struct PipelineEvent {
+  PipelineEventKind kind = PipelineEventKind::RateUpdate;
+  std::uint64_t user_id = 0;
+  double time_s = 0.0;
+  /// Rate for RateUpdate events [bpm].
+  double rate_bpm = 0.0;
+  /// Whether the estimator flagged the rate reliable.
+  bool reliable = false;
+};
+
+class RealtimePipeline {
+ public:
+  using EventCallback = std::function<void(const PipelineEvent&)>;
+
+  explicit RealtimePipeline(PipelineConfig config = {},
+                            EventCallback callback = nullptr);
+
+  /// Feeds one low-level read. Reads must arrive in time order; the
+  /// pipeline re-analyses and fires events whenever the stream clock
+  /// crosses the next update boundary.
+  void push(const TagRead& read);
+
+  /// Advances the stream clock without data (lets loss detection fire
+  /// when the reader goes silent).
+  void advance_to(double time_s);
+
+  /// Most recent analysis per user (empty before warm-up).
+  const std::map<std::uint64_t, UserAnalysis>& latest() const noexcept {
+    return latest_;
+  }
+
+  double now_s() const noexcept { return now_; }
+
+ private:
+  void update(double time_s);
+  void emit(const PipelineEvent& event);
+
+  PipelineConfig config_;
+  EventCallback callback_;
+  BreathMonitor monitor_;
+  StreamDemux demux_;
+
+  double now_ = 0.0;
+  double start_ = 0.0;
+  bool started_ = false;
+  double next_update_ = 0.0;
+
+  struct UserState {
+    double last_read_s = -1.0;
+    double last_crossing_s = -1.0;
+    bool in_apnea = false;
+    bool lost = false;
+    bool ever_reliable = false;
+  };
+  std::map<std::uint64_t, UserState> user_state_;
+  std::map<std::uint64_t, UserAnalysis> latest_;
+};
+
+}  // namespace tagbreathe::core

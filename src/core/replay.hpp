@@ -1,0 +1,58 @@
+// Low-level read capture and replay.
+//
+// Field workflow for a real deployment: record the reader's low-level
+// report stream once, then tune the pipeline offline against the
+// recording. The format is a plain CSV of TagRead fields (one row per
+// read), so captures are diffable, trimmable with standard tools, and
+// loadable into any analysis environment.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace tagbreathe::core {
+
+/// CSV header used by recordings (also the accepted input header).
+extern const char* const kReplayCsvHeader;
+
+/// Writes reads as CSV (header + one row per read). Throws on I/O error.
+void save_reads_csv(const std::string& path, std::span<const TagRead> reads);
+void save_reads_csv(std::ostream& out, std::span<const TagRead> reads);
+
+/// Loads a recording. Validates the header and every row; throws
+/// std::runtime_error with a line number on malformed input.
+ReadStream load_reads_csv(const std::string& path);
+ReadStream load_reads_csv(std::istream& in);
+
+/// Streaming recorder: tees reads to disk while they flow to the
+/// analysis. Flushes on destruction.
+class ReadRecorder {
+ public:
+  explicit ReadRecorder(const std::string& path);
+  ~ReadRecorder();
+
+  ReadRecorder(const ReadRecorder&) = delete;
+  ReadRecorder& operator=(const ReadRecorder&) = delete;
+
+  void record(const TagRead& read);
+  std::size_t recorded() const noexcept { return count_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::size_t count_ = 0;
+};
+
+/// Replays a recording through a callback at logical (not wall-clock)
+/// time order; returns the number of reads delivered. `speedup` <= 0
+/// replays as fast as possible (the default and the only mode used in
+/// tests; wall-clock pacing is a thin loop the caller can add).
+std::size_t replay_reads(std::span<const TagRead> reads,
+                         const std::function<void(const TagRead&)>& sink);
+
+}  // namespace tagbreathe::core

@@ -1,0 +1,69 @@
+#include "core/trajectory.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tagbreathe::core {
+
+double RateTrajectory::rate_at(double t) const noexcept {
+  const RatePointAt* prev = nullptr;
+  for (const auto& p : points) {
+    if (!p.reliable) continue;
+    if (p.time_s >= t) {
+      if (prev == nullptr) return p.rate_bpm;
+      const double span = p.time_s - prev->time_s;
+      if (span <= 0.0) return p.rate_bpm;
+      const double frac = (t - prev->time_s) / span;
+      return prev->rate_bpm + frac * (p.rate_bpm - prev->rate_bpm);
+    }
+    prev = &p;
+  }
+  return prev != nullptr ? prev->rate_bpm : 0.0;
+}
+
+std::vector<RateTrajectory> compute_rate_trajectories(
+    std::span<const TagRead> reads, const TrajectoryConfig& config) {
+  if (config.window_s <= 0.0 || config.hop_s <= 0.0)
+    throw std::invalid_argument("trajectory: window and hop must be positive");
+  std::vector<RateTrajectory> out;
+  if (reads.empty()) return out;
+
+  StreamDemux demux;
+  demux.add(reads);
+  double t0 = reads.front().time_s, t1 = t0;
+  for (const TagRead& r : reads) {
+    t0 = std::min(t0, r.time_s);
+    t1 = std::max(t1, r.time_s);
+  }
+  if (t1 - t0 < config.window_s) {
+    // Too short for even one window: fall back to a single whole-span
+    // analysis.
+    BreathMonitor monitor(config.monitor);
+    for (std::uint64_t user : demux.users()) {
+      RateTrajectory traj;
+      traj.user_id = user;
+      const auto a = monitor.analyze_user(demux, user, t0, t1);
+      traj.points.push_back(RatePointAt{(t0 + t1) / 2.0, a.rate.rate_bpm,
+                                        a.rate.reliable});
+      out.push_back(std::move(traj));
+    }
+    return out;
+  }
+
+  BreathMonitor monitor(config.monitor);
+  for (std::uint64_t user : demux.users()) {
+    RateTrajectory traj;
+    traj.user_id = user;
+    for (double start = t0; start + config.window_s <= t1 + 1e-9;
+         start += config.hop_s) {
+      const double end = start + config.window_s;
+      const auto a = monitor.analyze_user(demux, user, start, end);
+      traj.points.push_back(RatePointAt{(start + end) / 2.0,
+                                        a.rate.rate_bpm, a.rate.reliable});
+    }
+    out.push_back(std::move(traj));
+  }
+  return out;
+}
+
+}  // namespace tagbreathe::core

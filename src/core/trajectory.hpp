@@ -1,0 +1,45 @@
+// Rate trajectory: breathing rate as a function of time.
+//
+// The trial runner reports one rate per window, but real subjects change
+// rate (the intro's "alternating between fast and slow"). This helper
+// slides the full BreathMonitor analysis across a recording and returns
+// the per-window rate series — the batch counterpart of the realtime
+// pipeline's RateUpdate stream, convenient for offline captures.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/monitor.hpp"
+
+namespace tagbreathe::core {
+
+struct TrajectoryConfig {
+  MonitorConfig monitor{};
+  /// Analysis window length [s]. Must exceed a couple of breaths at the
+  /// slowest expected rate.
+  double window_s = 30.0;
+  /// Window advance [s].
+  double hop_s = 5.0;
+};
+
+struct RatePointAt {
+  double time_s = 0.0;  // window centre
+  double rate_bpm = 0.0;
+  bool reliable = false;
+};
+
+struct RateTrajectory {
+  std::uint64_t user_id = 0;
+  std::vector<RatePointAt> points;
+
+  /// Linear interpolation of the reliable points at time t; 0 when no
+  /// reliable point exists.
+  double rate_at(double t) const noexcept;
+};
+
+/// Computes one trajectory per user present in the reads.
+std::vector<RateTrajectory> compute_rate_trajectories(
+    std::span<const TagRead> reads, const TrajectoryConfig& config = {});
+
+}  // namespace tagbreathe::core

@@ -1,0 +1,31 @@
+// The low-level record type at the reader/algorithm boundary.
+//
+// This mirrors the per-read report of a COTS reader (Impinj R420 via
+// LLRP with the vendor low-level-data extension): RSSI, raw phase, raw
+// Doppler, channel, antenna port, timestamp, EPC (Sec. IV-A). Everything
+// in core/ consumes only this record, so the simulator (src/rfid) and the
+// llrp-lite client (src/llrp) are interchangeable producers — as a real
+// reader feed would be.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rfid/epc.hpp"
+
+namespace tagbreathe::core {
+
+struct TagRead {
+  double time_s = 0.0;          // reader timestamp of the read
+  rfid::Epc96 epc;              // reported EPC (user/tag IDs per Fig. 9)
+  std::uint8_t antenna_id = 1;  // reporting antenna port (1-based)
+  std::uint16_t channel_index = 0;
+  double frequency_hz = 0.0;    // carrier of the reporting channel
+  double rssi_dbm = 0.0;        // quantised received signal strength
+  double phase_rad = 0.0;       // raw backscatter phase in [0, 2π)
+  double doppler_hz = 0.0;      // raw Doppler estimate (Eq. 2)
+};
+
+using ReadStream = std::vector<TagRead>;
+
+}  // namespace tagbreathe::core

@@ -1,0 +1,72 @@
+#include "experiments/runner.hpp"
+
+#include "core/metrics.hpp"
+
+namespace tagbreathe::experiments {
+
+TrialResult run_trial(const ScenarioConfig& config,
+                      const core::MonitorConfig& monitor_config) {
+  Scenario scenario(config);
+  const core::ReadStream reads = scenario.run();
+
+  TrialResult result;
+  result.total_reads = reads.size();
+  result.read_rate_hz =
+      config.duration_s > 0.0
+          ? static_cast<double>(reads.size()) / config.duration_s
+          : 0.0;
+
+  std::size_t monitor_reads = 0;
+  double rssi_sum = 0.0;
+  for (const core::TagRead& r : reads) {
+    const std::uint64_t user = r.epc.user_id();
+    if (user >= 1 && user <= config.users.size()) {
+      ++monitor_reads;
+      rssi_sum += r.rssi_dbm;
+    }
+  }
+  result.monitor_read_rate_hz =
+      config.duration_s > 0.0
+          ? static_cast<double>(monitor_reads) / config.duration_s
+          : 0.0;
+  if (monitor_reads > 0)
+    result.mean_rssi_dbm = rssi_sum / static_cast<double>(monitor_reads);
+
+  core::BreathMonitor monitor(monitor_config);
+  const auto analyses = monitor.analyze(reads);
+  for (const core::UserAnalysis& a : analyses) {
+    if (a.user_id < 1 || a.user_id > config.users.size())
+      continue;  // item-labelling tags are not users
+    TrialUserResult u;
+    u.user_id = a.user_id;
+    u.true_bpm = scenario.true_rate_bpm(a.user_id - 1);
+    u.estimated_bpm = a.rate.rate_bpm;
+    u.accuracy = core::breathing_rate_accuracy(u.estimated_bpm, u.true_bpm);
+    u.error_bpm = core::rate_error_bpm(u.estimated_bpm, u.true_bpm);
+    u.reliable = a.rate.reliable;
+    result.users.push_back(u);
+  }
+  return result;
+}
+
+AggregateResult run_trials(ScenarioConfig config, int trials,
+                           const core::MonitorConfig& monitor_config) {
+  AggregateResult agg;
+  const std::uint64_t base_seed = config.seed;
+  for (int t = 0; t < trials; ++t) {
+    config.seed = base_seed + static_cast<std::uint64_t>(t) * 1009 + 1;
+    const TrialResult trial = run_trial(config, monitor_config);
+    for (const TrialUserResult& u : trial.users) {
+      agg.accuracy.add(u.accuracy);
+      agg.error_bpm.add(u.error_bpm);
+      if (!u.reliable) ++agg.unreliable;
+    }
+    agg.read_rate_hz.add(trial.read_rate_hz);
+    agg.monitor_read_rate_hz.add(trial.monitor_read_rate_hz);
+    agg.mean_rssi_dbm.add(trial.mean_rssi_dbm);
+    ++agg.trials;
+  }
+  return agg;
+}
+
+}  // namespace tagbreathe::experiments

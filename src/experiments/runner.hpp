@@ -1,0 +1,50 @@
+// Experiment runner: repeated trials -> aggregate accuracy, the way the
+// paper's evaluation reports each figure point ("we repeat the
+// experiments ... and compute the average breathing rates").
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/monitor.hpp"
+#include "experiments/scenario.hpp"
+
+namespace tagbreathe::experiments {
+
+struct TrialUserResult {
+  std::uint64_t user_id = 0;
+  double true_bpm = 0.0;
+  double estimated_bpm = 0.0;
+  double accuracy = 0.0;  // Eq. 8
+  double error_bpm = 0.0;
+  bool reliable = false;
+};
+
+struct TrialResult {
+  std::vector<TrialUserResult> users;
+  std::size_t total_reads = 0;
+  double read_rate_hz = 0.0;  // total low-level data rate
+  double monitor_read_rate_hz = 0.0;  // rate from monitoring tags only
+  double mean_rssi_dbm = -120.0;      // monitoring tags only
+};
+
+struct AggregateResult {
+  common::RunningStats accuracy;
+  common::RunningStats error_bpm;
+  common::RunningStats read_rate_hz;
+  common::RunningStats monitor_read_rate_hz;
+  common::RunningStats mean_rssi_dbm;
+  std::size_t trials = 0;
+  std::size_t unreliable = 0;
+};
+
+/// Runs one trial: simulate, analyse, compare to ground truth.
+TrialResult run_trial(const ScenarioConfig& config,
+                      const core::MonitorConfig& monitor_config = {});
+
+/// Runs `trials` trials with distinct seeds derived from config.seed.
+AggregateResult run_trials(ScenarioConfig config, int trials,
+                           const core::MonitorConfig& monitor_config = {});
+
+}  // namespace tagbreathe::experiments

@@ -1,0 +1,39 @@
+// Scenario (de)serialisation: INI files -> ScenarioConfig.
+//
+// Lets the CLI tool and downstream users describe deployments in plain
+// text instead of C++:
+//
+//   [scenario]
+//   distance_m = 4.0
+//   duration_s = 120
+//   contending_tags = 10
+//
+//   [user]
+//   rate_bpm = 12
+//   posture = sitting            ; sitting | standing | lying
+//   apnea = 90:8, 180:25         ; start:duration pairs [s]
+//
+//   [user]
+//   schedule = 0:18, 90:12       ; start:rate pairs (s : bpm)
+//
+// Every key is optional; defaults are the Table-I defaults. Unknown keys
+// are rejected (catching typos beats silently ignoring them).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "experiments/scenario.hpp"
+
+namespace tagbreathe::experiments {
+
+/// Parses a scenario description. Throws std::runtime_error with a
+/// helpful message on syntax errors, unknown keys, or invalid values.
+ScenarioConfig scenario_from_ini(std::istream& in);
+ScenarioConfig scenario_from_ini_file(const std::string& path);
+
+/// Writes a config back out as INI (round-trips through
+/// scenario_from_ini).
+std::string scenario_to_ini(const ScenarioConfig& config);
+
+}  // namespace tagbreathe::experiments

@@ -1,0 +1,71 @@
+// Big-endian byte codec for the llrp-lite wire format.
+//
+// LLRP (EPCglobal Low Level Reader Protocol) is a big-endian binary
+// protocol of framed messages containing nested TLV/TV parameters. This
+// module provides the bounds-checked primitive reads/writes everything
+// above is built from.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tagbreathe::llrp {
+
+/// Thrown on truncated or malformed wire data.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Signed 16-bit (RSSI fields are signed in LLRP).
+  void i16(std::int16_t v);
+  void bytes(std::span<const std::uint8_t> data);
+
+  /// Patches a previously written u32 at `offset` (message/parameter
+  /// lengths are back-filled once the body size is known).
+  void patch_u32(std::size_t offset, std::uint32_t v);
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+  std::size_t size() const noexcept { return buffer_.size(); }
+  const std::vector<std::uint8_t>& data() const noexcept { return buffer_; }
+  std::vector<std::uint8_t> take() noexcept { return std::move(buffer_); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int16_t i16();
+  std::vector<std::uint8_t> bytes(std::size_t count);
+
+  /// Reader over the next `count` bytes; advances this reader past them.
+  ByteReader sub(std::size_t count);
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  std::size_t position() const noexcept { return pos_; }
+  bool empty() const noexcept { return remaining() == 0; }
+
+ private:
+  void need(std::size_t count) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tagbreathe::llrp

@@ -1,0 +1,171 @@
+#include "llrp/client.hpp"
+
+namespace tagbreathe::llrp {
+
+LlrpClient::LlrpClient(ClientConfig config, DuplexChannel& channel)
+    : config_(std::move(config)), channel_(channel) {}
+
+std::uint32_t LlrpClient::send(MessageType type,
+                               std::vector<std::uint8_t> body) {
+  Message m;
+  m.type = type;
+  m.message_id = next_message_id_++;
+  m.body = std::move(body);
+  channel_.write(DuplexChannel::Side::Client, encode_message(m));
+  return m.message_id;
+}
+
+std::uint32_t LlrpClient::send_add_rospec() {
+  // Continuous-inventory ROSpec: null start trigger (started explicitly),
+  // null stop trigger (runs until stopped), single AISpec over all
+  // antennas. Field layout is simplified but the parameter skeleton is
+  // the real one.
+  Param rospec;
+  rospec.type = static_cast<std::uint16_t>(ParamType::RoSpec);
+  {
+    ByteWriter v;
+    v.u32(config_.rospec_id);
+    v.u8(0);  // priority
+    v.u8(0);  // current state: disabled
+    rospec.value = v.take();
+  }
+  {
+    Param boundary;
+    boundary.type = static_cast<std::uint16_t>(ParamType::RoBoundarySpec);
+    Param start;
+    start.type = static_cast<std::uint16_t>(ParamType::RoSpecStartTrigger);
+    start.value = {0};  // null trigger
+    Param stop;
+    stop.type = static_cast<std::uint16_t>(ParamType::RoSpecStopTrigger);
+    stop.value = {0};  // null trigger
+    boundary.children.push_back(std::move(start));
+    boundary.children.push_back(std::move(stop));
+    rospec.children.push_back(std::move(boundary));
+  }
+  {
+    Param aispec;
+    aispec.type = static_cast<std::uint16_t>(ParamType::AiSpec);
+    Param stop;
+    stop.type = static_cast<std::uint16_t>(ParamType::AiSpecStopTrigger);
+    stop.value = {0};
+    aispec.children.push_back(std::move(stop));
+    Param inv;
+    inv.type = static_cast<std::uint16_t>(ParamType::InventoryParameterSpec);
+    ByteWriter v;
+    v.u16(1);  // spec id
+    v.u8(1);   // protocol: EPCGlobal C1G2
+    inv.value = v.take();
+    aispec.children.push_back(std::move(inv));
+    rospec.children.push_back(std::move(aispec));
+  }
+  {
+    Param report;
+    report.type = static_cast<std::uint16_t>(ParamType::RoReportSpec);
+    ByteWriter v;
+    v.u8(1);  // report on N tags / timer
+    v.u16(0);
+    report.value = v.take();
+    rospec.children.push_back(std::move(report));
+  }
+
+  // NOTE: the endpoint reads the ROSpec ID from the value region when
+  // present; we encode the value-bearing variant.
+  Param wire_rospec;
+  wire_rospec.type = rospec.type;
+  wire_rospec.value = rospec.value;
+  // Children are appended after the value bytes; the endpoint treats the
+  // ROSpec as opaque except for the leading ID.
+  wire_rospec.children = rospec.children;
+
+  ByteWriter w;
+  encode_param(w, wire_rospec);
+  return send(MessageType::AddRoSpec, w.take());
+}
+
+std::uint32_t LlrpClient::send_enable_rospec() {
+  ByteWriter w;
+  w.u32(config_.rospec_id);
+  return send(MessageType::EnableRoSpec, w.take());
+}
+
+std::uint32_t LlrpClient::send_start_rospec() {
+  ByteWriter w;
+  w.u32(config_.rospec_id);
+  return send(MessageType::StartRoSpec, w.take());
+}
+
+std::uint32_t LlrpClient::send_stop_rospec() {
+  ByteWriter w;
+  w.u32(config_.rospec_id);
+  return send(MessageType::StopRoSpec, w.take());
+}
+
+std::uint32_t LlrpClient::send_keepalive() {
+  return send(MessageType::KeepAlive, {});
+}
+
+std::uint32_t LlrpClient::send_get_capabilities() {
+  return send(MessageType::GetReaderCapabilities, {});
+}
+
+std::size_t LlrpClient::poll() {
+  framer_.feed(channel_.read(DuplexChannel::Side::Client));
+  Message m;
+  std::size_t handled = 0;
+  while (framer_.next(m)) {
+    ++handled;
+    switch (m.type) {
+      case MessageType::RoAccessReport: {
+        ++reports_;
+        const auto entries = decode_tag_reports(m.body);
+        for (const TagReportEntry& e : entries) {
+          ++reads_;
+          if (on_read_) on_read_(from_wire(e, config_.plan));
+        }
+        break;
+      }
+      case MessageType::AddRoSpecResponse:
+      case MessageType::EnableRoSpecResponse:
+      case MessageType::StartRoSpecResponse:
+      case MessageType::StopRoSpecResponse: {
+        ByteReader r(m.body);
+        const auto params = decode_params(r);
+        const StatusCode code = parse_status(params);
+        if (m.type == MessageType::AddRoSpecResponse) add_status_ = code;
+        if (m.type == MessageType::EnableRoSpecResponse)
+          enable_status_ = code;
+        if (m.type == MessageType::StartRoSpecResponse) start_status_ = code;
+        if (m.type == MessageType::StopRoSpecResponse) stop_status_ = code;
+        break;
+      }
+      case MessageType::GetReaderCapabilitiesResponse: {
+        capabilities_ = decode_capabilities(m.body);
+        break;
+      }
+      case MessageType::KeepAlive: {
+        ++keepalives_;
+        break;
+      }
+      case MessageType::ReaderEventNotification: {
+        std::uint64_t ts_us = 0;
+        reader_events_.push_back(decode_reader_event(m.body, ts_us));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return handled;
+}
+
+StatusCode LlrpClient::last_status(MessageType response_type) const {
+  switch (response_type) {
+    case MessageType::AddRoSpecResponse: return add_status_;
+    case MessageType::EnableRoSpecResponse: return enable_status_;
+    case MessageType::StartRoSpecResponse: return start_status_;
+    case MessageType::StopRoSpecResponse: return stop_status_;
+    default: return StatusCode::DeviceError;
+  }
+}
+
+}  // namespace tagbreathe::llrp

@@ -1,0 +1,85 @@
+// Host-side llrp-lite client — the role the LLRP Toolkit plays in the
+// paper's software stack (Sec. V): configure the reader with a ROSpec,
+// start continuous inventory, and decode the low-level tag reports into
+// core::TagRead records for the TagBreathe algorithms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/types.hpp"
+#include "llrp/message.hpp"
+#include "llrp/params.hpp"
+#include "llrp/transport.hpp"
+#include "rfid/channel_plan.hpp"
+
+namespace tagbreathe::llrp {
+
+struct ClientConfig {
+  /// ROSpec ID used for the continuous-inventory spec.
+  std::uint32_t rospec_id = 1;
+  /// Channel plan used to map reported channel indexes to carriers.
+  rfid::ChannelPlan plan = rfid::ChannelPlan::paper_plan();
+};
+
+class LlrpClient {
+ public:
+  using ReadCallback = std::function<void(const core::TagRead&)>;
+
+  LlrpClient(ClientConfig config, DuplexChannel& channel);
+
+  /// Sends ADD_ROSPEC with a continuous-inventory ROSpec.
+  std::uint32_t send_add_rospec();
+  std::uint32_t send_enable_rospec();
+  std::uint32_t send_start_rospec();
+  std::uint32_t send_stop_rospec();
+  std::uint32_t send_keepalive();
+  std::uint32_t send_get_capabilities();
+
+  void set_read_callback(ReadCallback callback) {
+    on_read_ = std::move(callback);
+  }
+
+  /// Drains incoming messages: dispatches reports to the callback and
+  /// records response statuses. Returns the number of messages handled.
+  std::size_t poll();
+
+  /// Last status received for the given response type.
+  StatusCode last_status(MessageType response_type) const;
+
+  std::size_t reports_received() const noexcept { return reports_; }
+  std::size_t reads_decoded() const noexcept { return reads_; }
+
+  /// Capabilities from the last GET_READER_CAPABILITIES exchange.
+  const std::optional<ReaderCapabilities>& capabilities() const noexcept {
+    return capabilities_;
+  }
+  /// Keepalive echoes seen (liveness evidence).
+  std::size_t keepalives_received() const noexcept { return keepalives_; }
+  /// Reader lifecycle events received, newest last.
+  const std::vector<ReaderEventKind>& reader_events() const noexcept {
+    return reader_events_;
+  }
+
+ private:
+  std::uint32_t send(MessageType type, std::vector<std::uint8_t> body);
+
+  ClientConfig config_;
+  DuplexChannel& channel_;
+  MessageFramer framer_;
+  ReadCallback on_read_;
+  std::uint32_t next_message_id_ = 1;
+  std::size_t reports_ = 0;
+  std::size_t reads_ = 0;
+  std::size_t keepalives_ = 0;
+  std::optional<ReaderCapabilities> capabilities_;
+  std::vector<ReaderEventKind> reader_events_;
+  StatusCode add_status_ = StatusCode::DeviceError;
+  StatusCode enable_status_ = StatusCode::DeviceError;
+  StatusCode start_status_ = StatusCode::DeviceError;
+  StatusCode stop_status_ = StatusCode::DeviceError;
+};
+
+}  // namespace tagbreathe::llrp

@@ -1,0 +1,83 @@
+#include "llrp/message.hpp"
+
+namespace tagbreathe::llrp {
+
+const char* message_type_name(MessageType type) noexcept {
+  switch (type) {
+    case MessageType::GetReaderCapabilities: return "GET_READER_CAPABILITIES";
+    case MessageType::GetReaderCapabilitiesResponse:
+      return "GET_READER_CAPABILITIES_RESPONSE";
+    case MessageType::AddRoSpec: return "ADD_ROSPEC";
+    case MessageType::AddRoSpecResponse: return "ADD_ROSPEC_RESPONSE";
+    case MessageType::DeleteRoSpec: return "DELETE_ROSPEC";
+    case MessageType::DeleteRoSpecResponse: return "DELETE_ROSPEC_RESPONSE";
+    case MessageType::StartRoSpec: return "START_ROSPEC";
+    case MessageType::StartRoSpecResponse: return "START_ROSPEC_RESPONSE";
+    case MessageType::StopRoSpec: return "STOP_ROSPEC";
+    case MessageType::StopRoSpecResponse: return "STOP_ROSPEC_RESPONSE";
+    case MessageType::EnableRoSpec: return "ENABLE_ROSPEC";
+    case MessageType::EnableRoSpecResponse: return "ENABLE_ROSPEC_RESPONSE";
+    case MessageType::CloseConnection: return "CLOSE_CONNECTION";
+    case MessageType::CloseConnectionResponse:
+      return "CLOSE_CONNECTION_RESPONSE";
+    case MessageType::RoAccessReport: return "RO_ACCESS_REPORT";
+    case MessageType::KeepAlive: return "KEEPALIVE";
+    case MessageType::ReaderEventNotification:
+      return "READER_EVENT_NOTIFICATION";
+    case MessageType::ErrorMessage: return "ERROR_MESSAGE";
+  }
+  return "UNKNOWN";
+}
+
+std::vector<std::uint8_t> encode_message(const Message& message) {
+  ByteWriter w;
+  const std::uint16_t version_type =
+      static_cast<std::uint16_t>((kProtocolVersion & 0x7) << 10) |
+      (static_cast<std::uint16_t>(message.type) & 0x3FF);
+  w.u16(version_type);
+  w.u32(static_cast<std::uint32_t>(kHeaderBytes + message.body.size()));
+  w.u32(message.message_id);
+  w.bytes(message.body);
+  return w.take();
+}
+
+Message decode_message(std::span<const std::uint8_t> wire) {
+  ByteReader r(wire);
+  const std::uint16_t version_type = r.u16();
+  const std::uint8_t version = (version_type >> 10) & 0x7;
+  if (version != kProtocolVersion)
+    throw DecodeError("unsupported protocol version " +
+                      std::to_string(version));
+  Message m;
+  m.type = static_cast<MessageType>(version_type & 0x3FF);
+  const std::uint32_t length = r.u32();
+  if (length < kHeaderBytes)
+    throw DecodeError("message length below header size");
+  if (length != wire.size())
+    throw DecodeError("message length mismatch");
+  m.message_id = r.u32();
+  m.body = r.bytes(length - kHeaderBytes);
+  return m;
+}
+
+void MessageFramer::feed(std::span<const std::uint8_t> bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+bool MessageFramer::next(Message& out) {
+  if (buffer_.size() < kHeaderBytes) return false;
+  // Peek at the length field (bytes 2..5).
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i)
+    length = (length << 8) | buffer_[2 + static_cast<std::size_t>(i)];
+  if (length < kHeaderBytes)
+    throw DecodeError("framer: message length below header size");
+  if (buffer_.size() < length) return false;
+  out = decode_message(
+      std::span<const std::uint8_t>(buffer_.data(), length));
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(length));
+  return true;
+}
+
+}  // namespace tagbreathe::llrp

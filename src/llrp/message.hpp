@@ -1,0 +1,71 @@
+// llrp-lite message framing.
+//
+// Messages follow the LLRP header layout: a 16-bit field carrying the
+// protocol version (3 bits) and message type (10 bits), a 32-bit total
+// length (header included), and a 32-bit message ID used to pair
+// responses with requests. Message type numbers follow the LLRP 1.1
+// assignments for the subset we implement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "llrp/bytes.hpp"
+
+namespace tagbreathe::llrp {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 10;
+
+enum class MessageType : std::uint16_t {
+  GetReaderCapabilities = 1,
+  GetReaderCapabilitiesResponse = 11,
+  AddRoSpec = 20,
+  AddRoSpecResponse = 30,
+  DeleteRoSpec = 21,
+  DeleteRoSpecResponse = 31,
+  StartRoSpec = 22,
+  StartRoSpecResponse = 32,
+  StopRoSpec = 23,
+  StopRoSpecResponse = 33,
+  EnableRoSpec = 24,
+  EnableRoSpecResponse = 34,
+  CloseConnection = 14,
+  CloseConnectionResponse = 4,
+  RoAccessReport = 61,
+  KeepAlive = 62,
+  ReaderEventNotification = 63,
+  ErrorMessage = 100,
+};
+
+const char* message_type_name(MessageType type) noexcept;
+
+struct Message {
+  MessageType type = MessageType::KeepAlive;
+  std::uint32_t message_id = 0;
+  /// Message body (everything after the 10-byte header).
+  std::vector<std::uint8_t> body;
+};
+
+/// Serialises header + body.
+std::vector<std::uint8_t> encode_message(const Message& message);
+
+/// Parses one complete message. Throws DecodeError on malformed input.
+Message decode_message(std::span<const std::uint8_t> wire);
+
+/// Stream framer: accumulates bytes and yields complete messages, as a
+/// TCP-borne LLRP connection would.
+class MessageFramer {
+ public:
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Extracts the next complete message, if any.
+  bool next(Message& out);
+
+  std::size_t buffered_bytes() const noexcept { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+}  // namespace tagbreathe::llrp

@@ -1,0 +1,353 @@
+#include "llrp/params.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace tagbreathe::llrp {
+
+std::size_t tv_value_length(std::uint16_t type) {
+  switch (static_cast<ParamType>(type)) {
+    case ParamType::AntennaId: return 2;
+    case ParamType::FirstSeenTimestampUtc: return 8;
+    case ParamType::PeakRssi: return 1;
+    case ParamType::ChannelIndex: return 2;
+    case ParamType::Epc96: return 12;
+    default:
+      throw DecodeError("unknown TV parameter type " + std::to_string(type));
+  }
+}
+
+void encode_param(ByteWriter& w, const Param& param) {
+  if (param.tv) {
+    if (param.type > 0x7F)
+      throw std::invalid_argument("TV parameter type exceeds 7 bits");
+    if (param.value.size() != tv_value_length(param.type))
+      throw std::invalid_argument("TV parameter value length mismatch");
+    w.u8(static_cast<std::uint8_t>(0x80 | param.type));
+    w.bytes(param.value);
+    return;
+  }
+  const std::size_t header_at = w.size();
+  w.u16(param.type & 0x3FF);
+  w.u16(0);  // length, patched below
+  w.bytes(param.value);
+  for (const Param& child : param.children) encode_param(w, child);
+  const std::size_t total = w.size() - header_at;
+  if (total > 0xFFFF) throw std::invalid_argument("parameter too large");
+  w.patch_u16(header_at + 2, static_cast<std::uint16_t>(total));
+}
+
+namespace {
+
+/// Fixed-size value prefix a non-leaf TLV carries before its child
+/// parameters (LLRP parameters have fixed field layouts; this is the
+/// subset we use). ROSpec: u32 id + u8 priority + u8 state.
+std::size_t tlv_value_prefix(std::uint16_t type) {
+  switch (static_cast<ParamType>(type)) {
+    case ParamType::RoSpec: return 6;
+    default: return 0;
+  }
+}
+
+/// TLV leaf types: their payload is raw value bytes, not nested params.
+bool is_leaf_tlv(std::uint16_t type) {
+  switch (static_cast<ParamType>(type)) {
+    case ParamType::EpcData:
+    case ParamType::LlrpStatus:
+    case ParamType::Custom:
+    case ParamType::RoSpecStartTrigger:
+    case ParamType::RoSpecStopTrigger:
+    case ParamType::AiSpecStopTrigger:
+    case ParamType::InventoryParameterSpec:
+    case ParamType::RoReportSpec:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Param decode_one_param(ByteReader& r) {
+  Param p;
+  const std::uint8_t first = r.u8();
+  if (first & 0x80) {
+    p.tv = true;
+    p.type = first & 0x7F;
+    p.value = r.bytes(tv_value_length(p.type));
+  } else {
+    // TLV: we already consumed the high byte of the type field.
+    const std::uint8_t second = r.u8();
+    p.type = static_cast<std::uint16_t>((first & 0x03) << 8) | second;
+    const std::uint16_t length = r.u16();
+    if (length < 4) throw DecodeError("TLV length below header size");
+    ByteReader body = r.sub(length - 4);
+    if (is_leaf_tlv(p.type)) {
+      p.value = body.bytes(body.remaining());
+    } else {
+      const std::size_t prefix = tlv_value_prefix(p.type);
+      if (prefix > 0) {
+        if (body.remaining() < prefix)
+          throw DecodeError("TLV value prefix truncated");
+        p.value = body.bytes(prefix);
+      }
+      p.children = decode_params(body);
+    }
+  }
+  return p;
+}
+
+std::vector<Param> decode_params(ByteReader& r) {
+  std::vector<Param> out;
+  while (!r.empty()) out.push_back(decode_one_param(r));
+  return out;
+}
+
+const Param* find_param(const std::vector<Param>& params, ParamType type) {
+  for (const Param& p : params) {
+    if (p.type == static_cast<std::uint16_t>(type)) return &p;
+  }
+  return nullptr;
+}
+
+Param make_status(StatusCode code) {
+  Param p;
+  p.type = static_cast<std::uint16_t>(ParamType::LlrpStatus);
+  ByteWriter w;
+  w.u16(static_cast<std::uint16_t>(code));
+  w.u16(0);  // empty error description
+  p.value = w.take();
+  return p;
+}
+
+StatusCode parse_status(const std::vector<Param>& params) {
+  const Param* status = find_param(params, ParamType::LlrpStatus);
+  if (status == nullptr) throw DecodeError("missing LLRPStatus");
+  ByteReader r(status->value);
+  return static_cast<StatusCode>(r.u16());
+}
+
+namespace {
+
+Param tv_param(ParamType type, std::span<const std::uint8_t> value) {
+  Param p;
+  p.tv = true;
+  p.type = static_cast<std::uint16_t>(type);
+  p.value.assign(value.begin(), value.end());
+  return p;
+}
+
+Param custom_param(CustomSubtype subtype, std::uint16_t value_u16) {
+  Param p;
+  p.type = static_cast<std::uint16_t>(ParamType::Custom);
+  ByteWriter w;
+  w.u32(kVendorId);
+  w.u32(static_cast<std::uint32_t>(subtype));
+  w.u16(value_u16);
+  p.value = w.take();
+  return p;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_tag_reports(
+    std::span<const TagReportEntry> entries) {
+  ByteWriter w;
+  for (const TagReportEntry& e : entries) {
+    Param report;
+    report.type = static_cast<std::uint16_t>(ParamType::TagReportData);
+
+    Param epc;
+    epc.type = static_cast<std::uint16_t>(ParamType::EpcData);
+    ByteWriter epc_w;
+    epc_w.u16(96);  // EPC bit count
+    epc_w.bytes(e.epc.bytes());
+    epc.value = epc_w.take();
+    report.children.push_back(std::move(epc));
+
+    {
+      ByteWriter v;
+      v.u16(e.antenna_id);
+      report.children.push_back(tv_param(ParamType::AntennaId, v.data()));
+    }
+    {
+      ByteWriter v;
+      v.u8(static_cast<std::uint8_t>(e.peak_rssi_dbm));
+      report.children.push_back(tv_param(ParamType::PeakRssi, v.data()));
+    }
+    {
+      ByteWriter v;
+      v.u16(e.channel_index);
+      report.children.push_back(tv_param(ParamType::ChannelIndex, v.data()));
+    }
+    {
+      ByteWriter v;
+      v.u64(e.first_seen_utc_us);
+      report.children.push_back(
+          tv_param(ParamType::FirstSeenTimestampUtc, v.data()));
+    }
+    report.children.push_back(
+        custom_param(CustomSubtype::RfPhaseAngle, e.phase_4096));
+    report.children.push_back(custom_param(
+        CustomSubtype::PeakRssiCentiDbm,
+        static_cast<std::uint16_t>(e.rssi_centi_dbm)));
+    report.children.push_back(custom_param(
+        CustomSubtype::RfDopplerFrequency,
+        static_cast<std::uint16_t>(e.doppler_16th_hz)));
+
+    encode_param(w, report);
+  }
+  return w.take();
+}
+
+std::vector<TagReportEntry> decode_tag_reports(
+    std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  const std::vector<Param> params = decode_params(r);
+  std::vector<TagReportEntry> out;
+  for (const Param& p : params) {
+    if (p.type != static_cast<std::uint16_t>(ParamType::TagReportData))
+      continue;
+    TagReportEntry e;
+    for (const Param& c : p.children) {
+      switch (static_cast<ParamType>(c.type)) {
+        case ParamType::EpcData: {
+          ByteReader v(c.value);
+          const std::uint16_t bits = v.u16();
+          if (bits != 96) throw DecodeError("unsupported EPC length");
+          const auto raw = v.bytes(12);
+          std::array<std::uint8_t, 12> arr{};
+          std::copy(raw.begin(), raw.end(), arr.begin());
+          e.epc = rfid::Epc96(arr);
+          break;
+        }
+        case ParamType::AntennaId: {
+          ByteReader v(c.value);
+          e.antenna_id = v.u16();
+          break;
+        }
+        case ParamType::PeakRssi: {
+          ByteReader v(c.value);
+          e.peak_rssi_dbm = static_cast<std::int8_t>(v.u8());
+          break;
+        }
+        case ParamType::ChannelIndex: {
+          ByteReader v(c.value);
+          e.channel_index = v.u16();
+          break;
+        }
+        case ParamType::FirstSeenTimestampUtc: {
+          ByteReader v(c.value);
+          e.first_seen_utc_us = v.u64();
+          break;
+        }
+        case ParamType::Custom: {
+          ByteReader v(c.value);
+          const std::uint32_t vendor = v.u32();
+          if (vendor != kVendorId) break;
+          const auto subtype = static_cast<CustomSubtype>(v.u32());
+          const std::uint16_t value = v.u16();
+          switch (subtype) {
+            case CustomSubtype::RfPhaseAngle:
+              e.phase_4096 = value;
+              break;
+            case CustomSubtype::PeakRssiCentiDbm:
+              e.rssi_centi_dbm = static_cast<std::int16_t>(value);
+              break;
+            case CustomSubtype::RfDopplerFrequency:
+              e.doppler_16th_hz = static_cast<std::int16_t>(value);
+              break;
+          }
+          break;
+        }
+        default:
+          break;  // tolerate unknown children, as LTK clients must
+      }
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_capabilities(
+    const ReaderCapabilities& caps) {
+  ByteWriter w;
+  encode_param(w, make_status(StatusCode::Success));
+  w.u16(caps.max_antennas);
+  w.u16(caps.channel_count);
+  w.u32(caps.first_channel_khz);
+  w.u16(caps.channel_spacing_khz);
+  w.u8(static_cast<std::uint8_t>((caps.reports_phase ? 1 : 0) |
+                                 (caps.reports_doppler ? 2 : 0)));
+  w.u32(caps.vendor_id);
+  return w.take();
+}
+
+ReaderCapabilities decode_capabilities(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  const std::vector<Param> status_params{decode_one_param(r)};
+  if (parse_status(status_params) != StatusCode::Success)
+    throw DecodeError("capabilities response carries an error status");
+  ReaderCapabilities caps;
+  caps.max_antennas = r.u16();
+  caps.channel_count = r.u16();
+  caps.first_channel_khz = r.u32();
+  caps.channel_spacing_khz = r.u16();
+  const std::uint8_t flags = r.u8();
+  caps.reports_phase = (flags & 1) != 0;
+  caps.reports_doppler = (flags & 2) != 0;
+  caps.vendor_id = r.u32();
+  return caps;
+}
+
+std::vector<std::uint8_t> encode_reader_event(ReaderEventKind kind,
+                                              std::uint64_t timestamp_us) {
+  ByteWriter w;
+  w.u16(static_cast<std::uint16_t>(kind));
+  w.u64(timestamp_us);
+  return w.take();
+}
+
+ReaderEventKind decode_reader_event(std::span<const std::uint8_t> body,
+                                    std::uint64_t& timestamp_us) {
+  ByteReader r(body);
+  const auto kind = static_cast<ReaderEventKind>(r.u16());
+  timestamp_us = r.u64();
+  return kind;
+}
+
+TagReportEntry to_wire(const core::TagRead& read) {
+  TagReportEntry e;
+  e.epc = read.epc;
+  e.antenna_id = read.antenna_id;
+  e.channel_index = read.channel_index;
+  e.first_seen_utc_us =
+      static_cast<std::uint64_t>(std::llround(read.time_s * 1e6));
+  e.peak_rssi_dbm = static_cast<std::int8_t>(std::lround(read.rssi_dbm));
+  e.rssi_centi_dbm =
+      static_cast<std::int16_t>(std::lround(read.rssi_dbm * 100.0));
+  const double frac = read.phase_rad / common::kTwoPi;
+  e.phase_4096 = static_cast<std::uint16_t>(
+      static_cast<std::uint32_t>(std::llround(frac * 4096.0)) % 4096u);
+  e.doppler_16th_hz =
+      static_cast<std::int16_t>(std::lround(read.doppler_hz * 16.0));
+  return e;
+}
+
+core::TagRead from_wire(const TagReportEntry& entry,
+                        const rfid::ChannelPlan& plan) {
+  core::TagRead read;
+  read.epc = entry.epc;
+  read.antenna_id = static_cast<std::uint8_t>(entry.antenna_id);
+  read.channel_index = entry.channel_index;
+  read.frequency_hz = plan.frequency_hz(entry.channel_index);
+  read.time_s = static_cast<double>(entry.first_seen_utc_us) * 1e-6;
+  read.rssi_dbm = static_cast<double>(entry.rssi_centi_dbm) / 100.0;
+  read.phase_rad =
+      static_cast<double>(entry.phase_4096) / 4096.0 * common::kTwoPi;
+  read.doppler_hz = static_cast<double>(entry.doppler_16th_hz) / 16.0;
+  return read;
+}
+
+}  // namespace tagbreathe::llrp

@@ -1,0 +1,167 @@
+#include "llrp/reader_endpoint.hpp"
+
+#include <stdexcept>
+
+namespace tagbreathe::llrp {
+
+ReaderEndpoint::ReaderEndpoint(EndpointConfig config, DuplexChannel& channel,
+                               std::unique_ptr<rfid::ReaderSim> sim)
+    : config_(config), channel_(channel), sim_(std::move(sim)) {
+  if (!sim_) throw std::invalid_argument("ReaderEndpoint: null sim");
+}
+
+void ReaderEndpoint::send(MessageType type, std::uint32_t id,
+                          std::vector<std::uint8_t> body) {
+  Message m;
+  m.type = type;
+  m.message_id = id;
+  m.body = std::move(body);
+  const auto wire = encode_message(m);
+  channel_.write(DuplexChannel::Side::Reader, wire);
+}
+
+void ReaderEndpoint::respond_status(MessageType type, std::uint32_t id,
+                                    StatusCode code) {
+  ByteWriter w;
+  encode_param(w, make_status(code));
+  send(type, id, w.take());
+}
+
+void ReaderEndpoint::process_incoming() {
+  framer_.feed(channel_.read(DuplexChannel::Side::Reader));
+  Message m;
+  while (framer_.next(m)) {
+    switch (m.type) {
+      case MessageType::AddRoSpec: {
+        // Accept a single ROSpec; its ID is the first u32 of the ROSpec
+        // parameter body.
+        StatusCode code = StatusCode::Success;
+        try {
+          ByteReader r(m.body);
+          const auto params = decode_params(r);
+          const Param* rospec = find_param(params, ParamType::RoSpec);
+          if (rospec == nullptr || rospec_id_.has_value()) {
+            code = StatusCode::ParameterError;
+          } else {
+            // The ROSpec ID is the first u32 of the ROSpec's value
+            // prefix (u32 id + u8 priority + u8 state).
+            if (rospec->value.size() >= 4) {
+              ByteReader v(rospec->value);
+              rospec_id_ = v.u32();
+            } else {
+              code = StatusCode::FieldError;
+            }
+          }
+        } catch (const DecodeError&) {
+          code = StatusCode::ParameterError;
+        }
+        respond_status(MessageType::AddRoSpecResponse, m.message_id, code);
+        break;
+      }
+      case MessageType::EnableRoSpec: {
+        const StatusCode code =
+            rospec_id_.has_value() ? StatusCode::Success
+                                   : StatusCode::ParameterError;
+        if (rospec_id_.has_value()) enabled_ = true;
+        respond_status(MessageType::EnableRoSpecResponse, m.message_id, code);
+        break;
+      }
+      case MessageType::StartRoSpec: {
+        const StatusCode code =
+            enabled_ ? StatusCode::Success : StatusCode::ParameterError;
+        if (enabled_) {
+          started_ = true;
+          next_flush_s_ = sim_->now_s() + config_.report_period_s;
+          send(MessageType::ReaderEventNotification, next_message_id_++,
+               encode_reader_event(
+                   ReaderEventKind::RoSpecStarted,
+                   static_cast<std::uint64_t>(sim_->now_s() * 1e6)));
+        }
+        respond_status(MessageType::StartRoSpecResponse, m.message_id, code);
+        break;
+      }
+      case MessageType::GetReaderCapabilities: {
+        ReaderCapabilities caps;
+        caps.max_antennas =
+            static_cast<std::uint16_t>(sim_->config().antennas.size());
+        const auto& plan = sim_->hop_schedule().plan();
+        caps.channel_count =
+            static_cast<std::uint16_t>(plan.channel_count());
+        caps.first_channel_khz =
+            static_cast<std::uint32_t>(plan.frequency_hz(0) / 1e3);
+        if (plan.channel_count() > 1) {
+          caps.channel_spacing_khz = static_cast<std::uint16_t>(
+              (plan.frequency_hz(1) - plan.frequency_hz(0)) / 1e3);
+        }
+        send(MessageType::GetReaderCapabilitiesResponse, m.message_id,
+             encode_capabilities(caps));
+        break;
+      }
+      case MessageType::StopRoSpec: {
+        if (started_) {
+          send(MessageType::ReaderEventNotification, next_message_id_++,
+               encode_reader_event(
+                   ReaderEventKind::RoSpecStopped,
+                   static_cast<std::uint64_t>(sim_->now_s() * 1e6)));
+        }
+        started_ = false;
+        flush_reports();
+        respond_status(MessageType::StopRoSpecResponse, m.message_id,
+                       StatusCode::Success);
+        break;
+      }
+      case MessageType::DeleteRoSpec: {
+        started_ = false;
+        enabled_ = false;
+        rospec_id_.reset();
+        respond_status(MessageType::DeleteRoSpecResponse, m.message_id,
+                       StatusCode::Success);
+        break;
+      }
+      case MessageType::KeepAlive:
+        // Echo: the host uses the round trip as a liveness probe.
+        send(MessageType::KeepAlive, m.message_id, {});
+        break;
+      case MessageType::CloseConnection: {
+        started_ = false;
+        respond_status(MessageType::CloseConnectionResponse, m.message_id,
+                       StatusCode::Success);
+        break;
+      }
+      default:
+        respond_status(MessageType::ErrorMessage, m.message_id,
+                       StatusCode::FieldError);
+        break;
+    }
+  }
+}
+
+void ReaderEndpoint::flush_reports() {
+  if (pending_reports_.empty()) return;
+  send(MessageType::RoAccessReport, next_message_id_++,
+       encode_tag_reports(pending_reports_));
+  pending_reports_.clear();
+}
+
+void ReaderEndpoint::advance(double duration_s) {
+  if (!started_) {
+    // Radio idle: wall clock advances but nothing is transmitted. The
+    // simulator is only stepped while inventorying, matching a reader
+    // whose ROSpec is stopped.
+    return;
+  }
+  const double end = sim_->now_s() + duration_s;
+  while (sim_->now_s() < end) {
+    const double chunk = std::min(config_.report_period_s,
+                                  end - sim_->now_s());
+    sim_->run(chunk, [this](const core::TagRead& read) {
+      pending_reports_.push_back(to_wire(read));
+    });
+    if (sim_->now_s() >= next_flush_s_) {
+      flush_reports();
+      next_flush_s_ = sim_->now_s() + config_.report_period_s;
+    }
+  }
+}
+
+}  // namespace tagbreathe::llrp

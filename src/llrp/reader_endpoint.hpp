@@ -1,0 +1,61 @@
+// Reader-side llrp-lite endpoint.
+//
+// Wraps a ReaderSim behind the protocol: accepts ADD/ENABLE/START_ROSPEC
+// from the client, and while the ROSpec is running converts the
+// simulator's reads into RO_ACCESS_REPORT messages batched on a report
+// period — the configuration the paper uses (continuous inventory,
+// low-level data reporting on).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "llrp/message.hpp"
+#include "llrp/params.hpp"
+#include "llrp/transport.hpp"
+#include "rfid/reader.hpp"
+
+namespace tagbreathe::llrp {
+
+struct EndpointConfig {
+  /// Reports are flushed at this cadence (R420 default-ish).
+  double report_period_s = 0.1;
+};
+
+class ReaderEndpoint {
+ public:
+  ReaderEndpoint(EndpointConfig config, DuplexChannel& channel,
+                 std::unique_ptr<rfid::ReaderSim> sim);
+
+  /// Handles any pending client messages (configuration plane).
+  void process_incoming();
+
+  /// Advances the radio simulation; emits RO_ACCESS_REPORTs while
+  /// started. No-op (time still advances) when stopped.
+  void advance(double duration_s);
+
+  bool rospec_added() const noexcept { return rospec_id_.has_value(); }
+  bool rospec_enabled() const noexcept { return enabled_; }
+  bool rospec_started() const noexcept { return started_; }
+  const rfid::ReaderSim& sim() const noexcept { return *sim_; }
+
+ private:
+  void send(MessageType type, std::uint32_t id,
+            std::vector<std::uint8_t> body);
+  void respond_status(MessageType type, std::uint32_t id, StatusCode code);
+  void flush_reports();
+
+  EndpointConfig config_;
+  DuplexChannel& channel_;
+  std::unique_ptr<rfid::ReaderSim> sim_;
+  MessageFramer framer_;
+
+  std::optional<std::uint32_t> rospec_id_;
+  bool enabled_ = false;
+  bool started_ = false;
+  std::vector<TagReportEntry> pending_reports_;
+  double next_flush_s_ = 0.0;
+  std::uint32_t next_message_id_ = 1000;
+};
+
+}  // namespace tagbreathe::llrp

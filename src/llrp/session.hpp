@@ -1,0 +1,68 @@
+// Convenience wiring of an LlrpClient to a ReaderEndpoint over an
+// in-memory channel: the full "host <-> reader" loop in one object.
+// Examples and integration tests drive the system through this seam, so
+// every TagRead they consume has round-tripped the wire format.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+
+#include "llrp/client.hpp"
+#include "llrp/reader_endpoint.hpp"
+
+namespace tagbreathe::llrp {
+
+class LlrpSession {
+ public:
+  LlrpSession(ClientConfig client_config, EndpointConfig endpoint_config,
+              std::unique_ptr<rfid::ReaderSim> sim)
+      : channel_(),
+        endpoint_(endpoint_config, channel_, std::move(sim)),
+        client_(std::move(client_config), channel_) {}
+
+  /// Performs the ADD/ENABLE/START handshake. Throws on a non-success
+  /// status from the reader.
+  void start() {
+    client_.send_add_rospec();
+    pump();
+    client_.send_enable_rospec();
+    pump();
+    client_.send_start_rospec();
+    pump();
+    if (client_.last_status(MessageType::AddRoSpecResponse) !=
+            StatusCode::Success ||
+        client_.last_status(MessageType::EnableRoSpecResponse) !=
+            StatusCode::Success ||
+        client_.last_status(MessageType::StartRoSpecResponse) !=
+            StatusCode::Success) {
+      throw std::runtime_error("LLRP handshake failed");
+    }
+  }
+
+  /// Runs the radio for `duration_s`, delivering decoded reads to the
+  /// client callback.
+  void advance(double duration_s) {
+    endpoint_.advance(duration_s);
+    client_.poll();
+  }
+
+  void stop() {
+    client_.send_stop_rospec();
+    pump();
+  }
+
+  LlrpClient& client() noexcept { return client_; }
+  ReaderEndpoint& endpoint() noexcept { return endpoint_; }
+
+ private:
+  void pump() {
+    endpoint_.process_incoming();
+    client_.poll();
+  }
+
+  DuplexChannel channel_;
+  ReaderEndpoint endpoint_;
+  LlrpClient client_;
+};
+
+}  // namespace tagbreathe::llrp

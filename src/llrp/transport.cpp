@@ -1,0 +1,25 @@
+#include "llrp/transport.hpp"
+
+namespace tagbreathe::llrp {
+
+void DuplexChannel::write(Side from, std::span<const std::uint8_t> bytes) {
+  auto& queue =
+      queue_to(from == Side::Client ? Side::Reader : Side::Client);
+  queue.insert(queue.end(), bytes.begin(), bytes.end());
+}
+
+std::vector<std::uint8_t> DuplexChannel::read(Side to, std::size_t max_bytes) {
+  auto& queue = queue_to(to);
+  const std::size_t count =
+      max_bytes == 0 ? queue.size() : std::min(max_bytes, queue.size());
+  std::vector<std::uint8_t> out(queue.begin(),
+                                queue.begin() + static_cast<std::ptrdiff_t>(count));
+  queue.erase(queue.begin(), queue.begin() + static_cast<std::ptrdiff_t>(count));
+  return out;
+}
+
+std::size_t DuplexChannel::pending(Side to) const noexcept {
+  return queue_to(to).size();
+}
+
+}  // namespace tagbreathe::llrp

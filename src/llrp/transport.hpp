@@ -1,0 +1,39 @@
+// In-memory duplex byte transport.
+//
+// Stands in for the TCP connection between the LTK host software and the
+// reader (DESIGN.md substitution table). Bytes written on one side are
+// readable on the other, preserving stream semantics — the framing layer
+// above must reassemble messages exactly as it would over TCP.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+namespace tagbreathe::llrp {
+
+class DuplexChannel {
+ public:
+  enum class Side { Client, Reader };
+
+  void write(Side from, std::span<const std::uint8_t> bytes);
+
+  /// Reads up to `max_bytes` pending bytes destined for `to` (0 = all).
+  std::vector<std::uint8_t> read(Side to, std::size_t max_bytes = 0);
+
+  std::size_t pending(Side to) const noexcept;
+
+ private:
+  std::deque<std::uint8_t>& queue_to(Side side) noexcept {
+    return side == Side::Client ? to_client_ : to_reader_;
+  }
+  const std::deque<std::uint8_t>& queue_to(Side side) const noexcept {
+    return side == Side::Client ? to_client_ : to_reader_;
+  }
+
+  std::deque<std::uint8_t> to_client_;
+  std::deque<std::uint8_t> to_reader_;
+};
+
+}  // namespace tagbreathe::llrp

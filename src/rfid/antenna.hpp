@@ -1,0 +1,20 @@
+// Reader antenna descriptor.
+//
+// An R420 drives up to four directional antennas in round-robin; only one
+// is powered at a time (Sec. IV-D.3), so the system's power draw does not
+// grow with antenna count and antennas never interfere with each other.
+#pragma once
+
+#include <cstdint>
+
+#include "common/geometry.hpp"
+
+namespace tagbreathe::rfid {
+
+struct Antenna {
+  std::uint8_t port = 1;  // LLRP antenna IDs are 1-based
+  common::Vec3 position{0.0, 0.0, 1.0};  // paper: ~1 m above ground
+  double gain_dbi = 8.5;  // Alien ALR-8696-C circular patch
+};
+
+}  // namespace tagbreathe::rfid

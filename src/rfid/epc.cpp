@@ -1,0 +1,82 @@
+#include "rfid/epc.hpp"
+
+#include <cctype>
+
+namespace tagbreathe::rfid {
+
+Epc96 Epc96::from_user_tag(std::uint64_t user_id,
+                           std::uint32_t tag_id) noexcept {
+  std::array<std::uint8_t, kBytes> bytes{};
+  for (int i = 0; i < 8; ++i)
+    bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(user_id >> (56 - 8 * i));
+  for (int i = 0; i < 4; ++i)
+    bytes[static_cast<std::size_t>(8 + i)] =
+        static_cast<std::uint8_t>(tag_id >> (24 - 8 * i));
+  return Epc96(bytes);
+}
+
+namespace {
+int hex_value(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::optional<Epc96> Epc96::from_hex(std::string_view hex) {
+  std::array<std::uint8_t, kBytes> bytes{};
+  std::size_t nibbles = 0;
+  for (char c : hex) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ':' || c == '-')
+      continue;
+    const int v = hex_value(c);
+    if (v < 0) return std::nullopt;
+    if (nibbles >= 2 * kBytes) return std::nullopt;
+    if (nibbles % 2 == 0)
+      bytes[nibbles / 2] = static_cast<std::uint8_t>(v << 4);
+    else
+      bytes[nibbles / 2] |= static_cast<std::uint8_t>(v);
+    ++nibbles;
+  }
+  if (nibbles != 2 * kBytes) return std::nullopt;
+  return Epc96(bytes);
+}
+
+std::uint64_t Epc96::user_id() const noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v = (v << 8) | bytes_[static_cast<std::size_t>(i)];
+  return v;
+}
+
+std::uint32_t Epc96::tag_id() const noexcept {
+  std::uint32_t v = 0;
+  for (int i = 8; i < 12; ++i)
+    v = (v << 8) | bytes_[static_cast<std::size_t>(i)];
+  return v;
+}
+
+std::string Epc96::to_hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(2 * kBytes);
+  for (std::uint8_t b : bytes_) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0x0F]);
+  }
+  return out;
+}
+
+std::size_t Epc96Hash::operator()(const Epc96& epc) const noexcept {
+  // FNV-1a over the 12 bytes.
+  std::size_t h = 1469598103934665603ULL;
+  for (std::uint8_t b : epc.bytes()) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace tagbreathe::rfid

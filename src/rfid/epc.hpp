@@ -1,0 +1,59 @@
+// 96-bit EPC handling and the TagBreathe ID scheme.
+//
+// The paper (Fig. 9) overwrites each monitoring tag's 96-bit EPC with a
+// 64-bit user ID followed by a 32-bit short tag ID so that low-level
+// reads can be grouped per user and differenced per tag. Writing the EPC
+// bank is a standard Gen2 operation; item-labelling (contending) tags
+// keep arbitrary EPCs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tagbreathe::rfid {
+
+/// A 96-bit EPC stored big-endian (network order), as it appears in Gen2
+/// inventory replies and LLRP reports.
+class Epc96 {
+ public:
+  static constexpr std::size_t kBytes = 12;
+
+  constexpr Epc96() noexcept : bytes_{} {}
+  explicit constexpr Epc96(const std::array<std::uint8_t, kBytes>& bytes) noexcept
+      : bytes_(bytes) {}
+
+  /// Builds a TagBreathe monitoring EPC: 64-bit user ID then 32-bit tag ID.
+  static Epc96 from_user_tag(std::uint64_t user_id,
+                             std::uint32_t tag_id) noexcept;
+
+  /// Parses 24 hex characters (whitespace/':' separators allowed).
+  static std::optional<Epc96> from_hex(std::string_view hex);
+
+  /// The leading 64 bits interpreted as a user ID (Fig. 9).
+  std::uint64_t user_id() const noexcept;
+
+  /// The trailing 32 bits interpreted as a short tag ID (Fig. 9).
+  std::uint32_t tag_id() const noexcept;
+
+  const std::array<std::uint8_t, kBytes>& bytes() const noexcept {
+    return bytes_;
+  }
+
+  std::string to_hex() const;
+
+  friend bool operator==(const Epc96&, const Epc96&) = default;
+  friend auto operator<=>(const Epc96&, const Epc96&) = default;
+
+ private:
+  std::array<std::uint8_t, kBytes> bytes_;
+};
+
+struct Epc96Hash {
+  std::size_t operator()(const Epc96& epc) const noexcept;
+};
+
+}  // namespace tagbreathe::rfid

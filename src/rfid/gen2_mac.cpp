@@ -1,0 +1,143 @@
+#include "rfid/gen2_mac.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tagbreathe::rfid {
+
+const char* slot_kind_name(SlotKind kind) noexcept {
+  switch (kind) {
+    case SlotKind::Query: return "query";
+    case SlotKind::Empty: return "empty";
+    case SlotKind::Collision: return "collision";
+    case SlotKind::Success: return "success";
+    case SlotKind::FailedRead: return "failed-read";
+    case SlotKind::Idle: return "idle";
+  }
+  return "?";
+}
+
+Gen2Mac::Gen2Mac(std::size_t num_tags, MacTimings timings, QConfig q)
+    : timings_(timings),
+      q_config_(q),
+      q_fp_(q.initial_q),
+      q_now_(static_cast<int>(std::lround(q.initial_q))),
+      slots_(num_tags, -1),
+      inventoried_(num_tags, false) {
+  if (num_tags == 0)
+    throw std::invalid_argument("Gen2Mac: need at least one tag");
+  if (q.min_q < 0.0 || q.max_q > 15.0 || q.min_q > q.max_q)
+    throw std::invalid_argument("Gen2Mac: bad Q bounds");
+}
+
+bool Gen2Mac::any_pending(const std::vector<bool>& energised) const noexcept {
+  for (std::size_t i = 0; i < slots_.size(); ++i)
+    if (participates(i, energised) && !inventoried_[i]) return true;
+  return false;
+}
+
+void Gen2Mac::set_select_mask(std::vector<bool> selected) {
+  if (!selected.empty() && selected.size() != slots_.size())
+    throw std::invalid_argument("Gen2Mac: select mask size mismatch");
+  selected_ = std::move(selected);
+  in_frame_ = false;  // the Select command interrupts the current frame
+}
+
+void Gen2Mac::begin_frame(const std::vector<bool>& energised,
+                          common::Rng& rng) {
+  q_now_ = static_cast<int>(
+      std::lround(std::clamp(q_fp_, q_config_.min_q, q_config_.max_q)));
+  frame_size_ = 1 << q_now_;
+  frame_slot_ = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (participates(i, energised) && !inventoried_[i])
+      slots_[i] = rng.uniform_int(0, frame_size_ - 1);
+    else
+      slots_[i] = -1;
+  }
+  in_frame_ = true;
+}
+
+SlotResult Gen2Mac::step(
+    const std::vector<bool>& energised,
+    const std::function<double(std::size_t)>& decode_probability,
+    common::Rng& rng) {
+  if (energised.size() != slots_.size())
+    throw std::invalid_argument("Gen2Mac: energised mask size mismatch");
+
+  if (!in_frame_) {
+    // Check whether anything is left to inventory; if the whole visible
+    // population is inventoried, the round is over: reset session flags.
+    bool any_visible = false;
+    for (std::size_t i = 0; i < slots_.size(); ++i)
+      if (participates(i, energised)) any_visible = true;
+    if (!any_visible) {
+      ++stats_.idles;
+      return SlotResult{SlotKind::Idle, timings_.idle_s, -1};
+    }
+    if (!any_pending(energised)) {
+      std::fill(inventoried_.begin(), inventoried_.end(), false);
+      ++stats_.rounds_completed;
+    }
+    begin_frame(energised, rng);
+    ++stats_.queries;
+    return SlotResult{SlotKind::Query, timings_.query_s, -1};
+  }
+
+  if (frame_slot_ >= frame_size_) {
+    // Frame exhausted; next step opens a new frame (QueryAdjust).
+    in_frame_ = false;
+    return step(energised, decode_probability, rng);
+  }
+
+  // Resolve the current slot: which energised tags counted down to it.
+  int winner = -1;
+  int replies = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i] != frame_slot_) continue;
+    if (!participates(i, energised)) continue;  // lost power: silent
+    ++replies;
+    winner = static_cast<int>(i);
+  }
+  ++frame_slot_;
+
+  const auto clamp_q = [this] {
+    q_fp_ = std::clamp(q_fp_, q_config_.min_q, q_config_.max_q);
+  };
+
+  if (replies == 0) {
+    q_fp_ -= q_config_.c;
+    clamp_q();
+    ++stats_.empties;
+    return SlotResult{SlotKind::Empty, timings_.empty_slot_s, -1};
+  }
+  if (replies > 1) {
+    q_fp_ += q_config_.c;
+    clamp_q();
+    ++stats_.collisions;
+    return SlotResult{SlotKind::Collision, timings_.collision_slot_s, -1};
+  }
+
+  // Singleton: attempt the read.
+  const auto tag = static_cast<std::size_t>(winner);
+  const double p = std::clamp(decode_probability(tag), 0.0, 1.0);
+  if (rng.bernoulli(p)) {
+    inventoried_[tag] = true;
+    slots_[tag] = -1;
+    ++stats_.successes;
+    return SlotResult{SlotKind::Success, timings_.success_slot_s, winner};
+  }
+  // Reply lost: the tag was not acknowledged and re-contends next frame.
+  ++stats_.failed_reads;
+  return SlotResult{SlotKind::FailedRead, timings_.failed_read_s, winner};
+}
+
+void Gen2Mac::abort_frame() noexcept { in_frame_ = false; }
+
+void Gen2Mac::reset_session() noexcept {
+  std::fill(inventoried_.begin(), inventoried_.end(), false);
+  in_frame_ = false;
+}
+
+}  // namespace tagbreathe::rfid

@@ -1,0 +1,77 @@
+#include "rfid/phase_model.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace tagbreathe::rfid {
+
+using common::kTwoPi;
+
+namespace {
+/// SplitMix64-style scrambler for deterministic offsets.
+std::uint64_t mix(std::uint64_t z) noexcept {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+double PhaseModel::phase_offset(std::size_t channel_index,
+                                std::uint64_t tag_key) const noexcept {
+  const std::uint64_t h =
+      mix(config_.offset_seed ^ mix(tag_key) ^
+          mix(0xC4A11ULL + static_cast<std::uint64_t>(channel_index)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53 * kTwoPi;
+}
+
+double PhaseModel::phase_sigma(double rssi_dbm) const noexcept {
+  const double snr_db = rssi_dbm - config_.noise_floor_dbm;
+  const double snr_lin = std::pow(10.0, snr_db / 10.0);
+  const double thermal_var =
+      snr_lin > 0.0 ? config_.phase_snr_coeff / snr_lin : 1.0;
+  return std::sqrt(config_.phase_sigma_floor_rad *
+                       config_.phase_sigma_floor_rad +
+                   thermal_var);
+}
+
+double PhaseModel::ideal_phase(double distance_m, double wavelength_m,
+                               std::size_t channel_index,
+                               std::uint64_t tag_key) const noexcept {
+  // Eq. 1: θ = (2π/λ · 2d + c) mod 2π.
+  const double theta = kTwoPi / wavelength_m * 2.0 * distance_m +
+                       phase_offset(channel_index, tag_key);
+  return common::wrap_phase_2pi(theta);
+}
+
+double PhaseModel::measure_phase(double distance_m, double wavelength_m,
+                                 std::size_t channel_index,
+                                 std::uint64_t tag_key, double rssi_dbm,
+                                 common::Rng& rng) const noexcept {
+  double theta = ideal_phase(distance_m, wavelength_m, channel_index, tag_key);
+  theta += rng.wrapped_normal(phase_sigma(rssi_dbm));
+  if (config_.phase_quantum_rad > 0.0)
+    theta = std::round(theta / config_.phase_quantum_rad) *
+            config_.phase_quantum_rad;
+  return common::wrap_phase_2pi(theta);
+}
+
+double PhaseModel::ideal_doppler(double radial_velocity_mps,
+                                 double wavelength_m) const noexcept {
+  // Approaching tag (negative radial velocity) raises the frequency.
+  return -2.0 * radial_velocity_mps / wavelength_m;
+}
+
+double PhaseModel::measure_doppler(double radial_velocity_mps,
+                                   double wavelength_m,
+                                   common::Rng& rng) const noexcept {
+  const double true_doppler = ideal_doppler(radial_velocity_mps, wavelength_m);
+  // Eq. 2: f = Δθ / (4π ΔT); the Δθ error divides by the same factor.
+  const double noise =
+      rng.normal(0.0, config_.doppler_delta_theta_sigma_rad) /
+      (4.0 * common::kPi * config_.doppler_packet_duration_s);
+  return true_doppler + noise;
+}
+
+}  // namespace tagbreathe::rfid

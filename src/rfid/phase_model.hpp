@@ -1,0 +1,78 @@
+// Physical-layer measurement model: phase (Eq. 1) and Doppler (Eq. 2).
+//
+// The reported phase is θ = (2π/λ · 2d + c) mod 2π where the offset c
+// bundles reader and tag circuit delays. c changes with the channel
+// (different λ and RF front-end response) and with the tag — which is why
+// the paper differences consecutive *same-channel, same-tag* readings
+// (Eq. 3) instead of using raw values. Reports are noisy (phase-locked
+// loop jitter, thermal noise scaling with 1/sqrt(SNR)) and quantised
+// (the R420 reports phase on a 12-bit grid).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace tagbreathe::rfid {
+
+struct PhaseModelConfig {
+  /// Noise floor [rad] at high SNR. This is the *sample-to-sample
+  /// repeatability* of consecutive reports (what Eq. 3 differencing
+  /// sees), not the absolute accuracy: R420-class readers repeat to a
+  /// couple of hundredths of a radian at strong RSSI.
+  double phase_sigma_floor_rad = 0.015;
+  /// Thermal term: sigma^2 gains c/SNR_linear.
+  double phase_snr_coeff = 0.25;
+  /// Receiver noise floor for SNR computation [dBm].
+  double noise_floor_dbm = -95.0;
+  /// Report quantisation: 2π / 4096 (12-bit phase field).
+  double phase_quantum_rad = 0.0015339807878856412;  // 2*pi/4096
+  /// Duration over which the reader measures the intra-packet phase
+  /// rotation for Doppler (Eq. 2) [s].
+  double doppler_packet_duration_s = 2.5e-3;
+  /// Phase-rotation measurement noise for Doppler [rad].
+  double doppler_delta_theta_sigma_rad = 0.1;
+  /// Seed for per-channel/per-tag offset synthesis.
+  std::uint64_t offset_seed = 7;
+};
+
+class PhaseModel {
+ public:
+  explicit PhaseModel(PhaseModelConfig config) : config_(config) {}
+
+  /// Deterministic offset c for a (channel, tag) pair, in [0, 2π).
+  double phase_offset(std::size_t channel_index,
+                      std::uint64_t tag_key) const noexcept;
+
+  /// Phase report noise sigma [rad] at the given RSSI.
+  double phase_sigma(double rssi_dbm) const noexcept;
+
+  /// Generates a phase report for a tag at distance d on wavelength λ.
+  double measure_phase(double distance_m, double wavelength_m,
+                       std::size_t channel_index, std::uint64_t tag_key,
+                       double rssi_dbm, common::Rng& rng) const noexcept;
+
+  /// Noise-free phase (for tests): Eq. 1 with the deterministic offset.
+  double ideal_phase(double distance_m, double wavelength_m,
+                     std::size_t channel_index,
+                     std::uint64_t tag_key) const noexcept;
+
+  /// Generates a Doppler report [Hz] for a tag moving at the given radial
+  /// velocity (positive = receding). Eq. 2: the reader divides the
+  /// intra-packet phase rotation by 4π·ΔT, so the Δθ noise is amplified
+  /// by 1/(4π·ΔT) — which is why raw Doppler is so noisy for slow body
+  /// motion (Fig. 3).
+  double measure_doppler(double radial_velocity_mps, double wavelength_m,
+                         common::Rng& rng) const noexcept;
+
+  /// Noise-free Doppler for the given radial velocity.
+  double ideal_doppler(double radial_velocity_mps,
+                       double wavelength_m) const noexcept;
+
+  const PhaseModelConfig& config() const noexcept { return config_; }
+
+ private:
+  PhaseModelConfig config_;
+};
+
+}  // namespace tagbreathe::rfid

@@ -1,0 +1,107 @@
+// Reader simulator: ties MAC, PHY and geometry into a low-level report
+// stream.
+//
+// This is the substitute for the Impinj Speedway R420 of the paper's
+// prototype (see DESIGN.md): it interrogates a tag population with the
+// Gen2 MAC, hops channels on the regulatory schedule, drives antennas in
+// round-robin, and emits one core::TagRead per successful singulation —
+// RSSI (quantised), raw phase (Eq. 1 + noise), raw Doppler (Eq. 2 +
+// noise), channel index, antenna port and timestamp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/types.hpp"
+#include "rfid/antenna.hpp"
+#include "rfid/channel_plan.hpp"
+#include "rfid/gen2_mac.hpp"
+#include "rfid/link_budget.hpp"
+#include "rfid/phase_model.hpp"
+#include "rfid/tag.hpp"
+
+namespace tagbreathe::rfid {
+
+struct ReaderConfig {
+  LinkBudgetConfig link{};
+  PhaseModelConfig phase{};
+  MacTimings mac_timings{};
+  QConfig q{};
+  ChannelPlan plan = ChannelPlan::paper_plan();
+  std::uint64_t hop_seed = 1;
+  std::vector<Antenna> antennas{Antenna{}};
+  /// Carrier gap when retuning to the next hop channel.
+  double hop_gap_s = 2.0e-3;
+  /// Antenna switch deadline when a round cannot complete (nothing
+  /// visible on this port).
+  double max_antenna_dwell_s = 0.3;
+  /// Gen2 SELECT filter: when set, only tags whose EPC matches
+  /// participate in inventory at all (others never reply — the standard
+  /// counter to item-tag contention). Null = inventory everything.
+  std::function<bool(const Epc96&)> select_filter;
+  /// Master seed for all reader-side randomness.
+  std::uint64_t seed = 1;
+  /// Link-state cache refresh period; positions move by micrometres per
+  /// slot, so re-evaluating geometry every slot is wasted work.
+  double link_refresh_s = 0.02;
+};
+
+class ReaderSim {
+ public:
+  /// Takes ownership of the tag population. Tag indices in stats follow
+  /// the order given here.
+  ReaderSim(ReaderConfig config,
+            std::vector<std::unique_ptr<TagBehavior>> tags);
+
+  /// Advances the simulation by `duration_s`, invoking `on_read` for each
+  /// report. Can be called repeatedly; time continues monotonically.
+  void run(double duration_s,
+           const std::function<void(const core::TagRead&)>& on_read);
+
+  /// Convenience: collects the reports of the next `duration_s`.
+  core::ReadStream run(double duration_s);
+
+  double now_s() const noexcept { return now_; }
+  const MacStats& mac_stats() const noexcept { return mac_.stats(); }
+  const std::vector<std::uint64_t>& reads_per_tag() const noexcept {
+    return reads_per_tag_;
+  }
+  std::size_t tag_count() const noexcept { return tags_.size(); }
+  const ReaderConfig& config() const noexcept { return config_; }
+  const HopSchedule& hop_schedule() const noexcept { return hops_; }
+
+ private:
+  void refresh_link_state();
+  void maybe_hop();
+  void maybe_switch_antenna();
+  core::TagRead make_report(std::size_t tag_index, double t_meas);
+
+  ReaderConfig config_;
+  std::vector<std::unique_ptr<TagBehavior>> tags_;
+  LinkBudget link_;
+  PhaseModel phase_;
+  HopSchedule hops_;
+  Gen2Mac mac_;
+  common::Rng rng_;
+
+  double now_ = 0.0;
+  std::size_t antenna_idx_ = 0;
+  double antenna_since_ = 0.0;
+  std::uint64_t rounds_at_switch_ = 0;
+
+  // Cached link state for the current antenna/channel.
+  double link_valid_until_ = -1.0;
+  std::size_t link_channel_ = static_cast<std::size_t>(-1);
+  std::size_t link_antenna_ = static_cast<std::size_t>(-1);
+  std::vector<bool> energised_;
+  std::vector<double> fwd_margin_db_;
+  std::vector<double> rev_margin_db_;
+  std::vector<double> mean_rssi_dbm_;
+
+  std::vector<std::uint64_t> reads_per_tag_;
+};
+
+}  // namespace tagbreathe::rfid

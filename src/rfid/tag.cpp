@@ -1,0 +1,49 @@
+#include "rfid/tag.hpp"
+
+#include <stdexcept>
+
+#include "rfid/link_budget.hpp"
+
+namespace tagbreathe::rfid {
+
+BodyTag::BodyTag(Epc96 epc, const body::Subject* subject, body::TagSite site)
+    : TagBehavior(epc), subject_(subject), site_(site) {
+  if (subject == nullptr)
+    throw std::invalid_argument("BodyTag: null subject");
+}
+
+common::Vec3 BodyTag::position_at(double t) const {
+  return subject_->tag_position(site_, t);
+}
+
+double BodyTag::extra_attenuation_db(const common::Vec3& antenna_pos,
+                                     double /*t*/) const {
+  const double orientation = subject_->orientation_to(antenna_pos);
+  return LinkBudget::body_attenuation_db(orientation);
+}
+
+StaticTag::StaticTag(Epc96 epc, common::Vec3 position,
+                     double mounting_loss_db) noexcept
+    : TagBehavior(epc),
+      position_(position),
+      mounting_loss_db_(mounting_loss_db) {}
+
+common::Vec3 StaticTag::position_at(double /*t*/) const { return position_; }
+
+double StaticTag::extra_attenuation_db(const common::Vec3& /*antenna_pos*/,
+                                       double /*t*/) const {
+  return mounting_loss_db_;
+}
+
+bool StaticTag::present_at(double t) const {
+  return t >= appear_s_ && t < disappear_s_;
+}
+
+void StaticTag::set_presence_window(double appear_s, double disappear_s) {
+  if (disappear_s <= appear_s)
+    throw std::invalid_argument("StaticTag: empty presence window");
+  appear_s_ = appear_s;
+  disappear_s_ = disappear_s;
+}
+
+}  // namespace tagbreathe::rfid

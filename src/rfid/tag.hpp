@@ -1,0 +1,87 @@
+// Simulated tag population.
+//
+// A TagBehavior supplies what the PHY needs about a physical tag: where
+// it is at a given instant and how much extra attenuation its mounting
+// imposes toward a given antenna. Two implementations cover the paper's
+// scenarios: BodyTag (a monitoring tag on a subject's clothes, moved by
+// breathing, shadowed by the torso at large orientation angles) and
+// StaticTag (an item-labelling tag that merely contends for air time,
+// Fig. 14).
+#pragma once
+
+#include <memory>
+
+#include "body/subject.hpp"
+#include "common/geometry.hpp"
+#include "rfid/epc.hpp"
+
+namespace tagbreathe::rfid {
+
+class TagBehavior {
+ public:
+  virtual ~TagBehavior() = default;
+
+  const Epc96& epc() const noexcept { return epc_; }
+
+  /// World position of the tag antenna at time t.
+  virtual common::Vec3 position_at(double t) const = 0;
+
+  /// Mounting/orientation attenuation [dB] toward an antenna at
+  /// `antenna_pos`, in excess of free-space loss.
+  virtual double extra_attenuation_db(const common::Vec3& antenna_pos,
+                                      double t) const = 0;
+
+  /// Whether the tag is physically in the field at time t. Item tags
+  /// come and go (stock moves through the room); monitoring tags are
+  /// always present. Absent tags take no MAC slots at all.
+  virtual bool present_at(double /*t*/) const { return true; }
+
+ protected:
+  explicit TagBehavior(Epc96 epc) noexcept : epc_(epc) {}
+
+ private:
+  Epc96 epc_;
+};
+
+/// A monitoring tag attached to a subject at a given site. Does not own
+/// the subject: scenarios own subjects and tags separately (three tags
+/// share one subject).
+class BodyTag final : public TagBehavior {
+ public:
+  BodyTag(Epc96 epc, const body::Subject* subject, body::TagSite site);
+
+  common::Vec3 position_at(double t) const override;
+  double extra_attenuation_db(const common::Vec3& antenna_pos,
+                              double t) const override;
+
+  const body::Subject& subject() const noexcept { return *subject_; }
+  body::TagSite site() const noexcept { return site_; }
+
+ private:
+  const body::Subject* subject_;  // non-owning; outlives the tag
+  body::TagSite site_;
+};
+
+/// An item-labelling tag at a fixed location, optionally present only
+/// during [appear_s, disappear_s) — stock moving through the room.
+class StaticTag final : public TagBehavior {
+ public:
+  StaticTag(Epc96 epc, common::Vec3 position,
+            double mounting_loss_db = 0.0) noexcept;
+
+  common::Vec3 position_at(double t) const override;
+  double extra_attenuation_db(const common::Vec3& antenna_pos,
+                              double t) const override;
+  bool present_at(double t) const override;
+
+  /// Restricts the tag's presence to [appear_s, disappear_s).
+  void set_presence_window(double appear_s, double disappear_s);
+
+ private:
+  common::Vec3 position_;
+  double mounting_loss_db_;
+  double appear_s_ = -1e300;
+  double disappear_s_ = 1e300;
+};
+
+}  // namespace tagbreathe::rfid

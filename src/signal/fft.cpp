@@ -1,0 +1,141 @@
+#include "signal/fft.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace tagbreathe::signal {
+
+using tagbreathe::common::kPi;
+using tagbreathe::common::kTwoPi;
+
+std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+bool is_pow2(std::size_t n) noexcept { return n != 0 && (n & (n - 1)) == 0; }
+
+void fft_pow2(std::vector<cdouble>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (!is_pow2(n)) throw std::invalid_argument("fft_pow2: size not a power of two");
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
+    const cdouble wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      cdouble w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cdouble u = data[i + k];
+        const cdouble v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= scale;
+  }
+}
+
+namespace {
+
+/// Bluestein's algorithm: expresses an N-point DFT as a convolution, which
+/// is evaluated with a power-of-two FFT of size >= 2N-1.
+std::vector<cdouble> bluestein(std::span<const cdouble> input, bool inverse) {
+  const std::size_t n = input.size();
+  const double sign = inverse ? 1.0 : -1.0;
+
+  // Chirp: w_k = exp(sign * i * pi * k^2 / n). Compute k^2 mod 2n to keep
+  // the angle argument small and precise for large k.
+  std::vector<cdouble> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t k2 = (k * k) % (2 * n);
+    const double angle = sign * kPi * static_cast<double>(k2) / static_cast<double>(n);
+    chirp[k] = cdouble(std::cos(angle), std::sin(angle));
+  }
+
+  const std::size_t m = next_pow2(2 * n - 1);
+  std::vector<cdouble> a(m, cdouble(0.0, 0.0));
+  std::vector<cdouble> b(m, cdouble(0.0, 0.0));
+  for (std::size_t k = 0; k < n; ++k) a[k] = input[k] * chirp[k];
+  for (std::size_t k = 0; k < n; ++k) {
+    b[k] = std::conj(chirp[k]);
+    if (k != 0) b[m - k] = std::conj(chirp[k]);
+  }
+
+  fft_pow2(a);
+  fft_pow2(b);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fft_pow2(a, /*inverse=*/true);
+
+  std::vector<cdouble> out(n);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * chirp[k];
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& x : out) x *= scale;
+  }
+  return out;
+}
+
+std::vector<cdouble> transform(std::span<const cdouble> input, bool inverse) {
+  if (input.empty()) return {};
+  if (is_pow2(input.size())) {
+    std::vector<cdouble> data(input.begin(), input.end());
+    fft_pow2(data, inverse);
+    return data;
+  }
+  return bluestein(input, inverse);
+}
+
+}  // namespace
+
+std::vector<cdouble> fft(std::span<const cdouble> input) {
+  return transform(input, /*inverse=*/false);
+}
+
+std::vector<cdouble> ifft(std::span<const cdouble> input) {
+  return transform(input, /*inverse=*/true);
+}
+
+std::vector<cdouble> fft_real(std::span<const double> input) {
+  std::vector<cdouble> data(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) data[i] = cdouble(input[i], 0.0);
+  return fft(data);
+}
+
+std::vector<double> ifft_real(std::span<const cdouble> spectrum) {
+  const std::vector<cdouble> time = ifft(spectrum);
+  std::vector<double> out(time.size());
+  for (std::size_t i = 0; i < time.size(); ++i) out[i] = time[i].real();
+  return out;
+}
+
+std::vector<double> magnitude(std::span<const cdouble> spectrum) {
+  std::vector<double> out(spectrum.size());
+  for (std::size_t i = 0; i < spectrum.size(); ++i) out[i] = std::abs(spectrum[i]);
+  return out;
+}
+
+double bin_frequency(std::size_t k, std::size_t n, double sample_rate_hz) noexcept {
+  if (n == 0) return 0.0;
+  const double fk = static_cast<double>(k) * sample_rate_hz / static_cast<double>(n);
+  if (k <= n / 2) return fk;
+  return fk - sample_rate_hz;
+}
+
+}  // namespace tagbreathe::signal

@@ -1,0 +1,52 @@
+// Fast Fourier transform.
+//
+// The paper's breath-signal extraction is an FFT-based low-pass filter
+// (Sec. IV-B): FFT -> zero bins above 0.67 Hz -> IFFT. This module
+// provides an iterative radix-2 Cooley-Tukey transform for power-of-two
+// sizes and Bluestein's chirp-z algorithm for arbitrary sizes (experiment
+// windows are arbitrary lengths: 25 s at irregular read rates).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tagbreathe::signal {
+
+using cdouble = std::complex<double>;
+
+/// Smallest power of two >= n (n = 0 maps to 1).
+std::size_t next_pow2(std::size_t n) noexcept;
+
+/// True if n is a nonzero power of two.
+bool is_pow2(std::size_t n) noexcept;
+
+/// In-place radix-2 DIT FFT. Requires data.size() to be a power of two.
+/// `inverse` applies the conjugate transform and the 1/N scale, so
+/// fft_pow2(x); fft_pow2(x, true) is the identity.
+void fft_pow2(std::vector<cdouble>& data, bool inverse = false);
+
+/// Forward DFT of arbitrary length (radix-2 when possible, Bluestein
+/// otherwise). Returns a new vector of the same length.
+std::vector<cdouble> fft(std::span<const cdouble> input);
+
+/// Inverse DFT (1/N-scaled) of arbitrary length.
+std::vector<cdouble> ifft(std::span<const cdouble> input);
+
+/// Forward DFT of a real signal; returns all N complex bins (conjugate
+/// symmetric).
+std::vector<cdouble> fft_real(std::span<const double> input);
+
+/// Real part of the inverse DFT — for conjugate-symmetric spectra of real
+/// signals (the imaginary residue is numerical noise and is dropped).
+std::vector<double> ifft_real(std::span<const cdouble> spectrum);
+
+/// Magnitude of each bin.
+std::vector<double> magnitude(std::span<const cdouble> spectrum);
+
+/// Frequency of bin k for an N-point transform at sample rate fs,
+/// mapping bins above N/2 to their negative frequencies.
+double bin_frequency(std::size_t k, std::size_t n, double sample_rate_hz) noexcept;
+
+}  // namespace tagbreathe::signal

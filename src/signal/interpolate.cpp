@@ -1,0 +1,97 @@
+#include "signal/interpolate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tagbreathe::signal {
+
+double interp_linear(std::span<const TimedSample> samples, double t) {
+  if (samples.empty())
+    throw std::invalid_argument("interp_linear: empty series");
+  if (t <= samples.front().time_s) return samples.front().value;
+  if (t >= samples.back().time_s) return samples.back().value;
+  // First sample with time >= t.
+  const auto it = std::lower_bound(
+      samples.begin(), samples.end(), t,
+      [](const TimedSample& s, double query) { return s.time_s < query; });
+  const auto hi = static_cast<std::size_t>(it - samples.begin());
+  const std::size_t lo = hi - 1;
+  const double span = samples[hi].time_s - samples[lo].time_s;
+  if (span <= 0.0) return samples[lo].value;
+  const double frac = (t - samples[lo].time_s) / span;
+  return samples[lo].value + frac * (samples[hi].value - samples[lo].value);
+}
+
+std::vector<TimedSample> resample_uniform(std::span<const TimedSample> samples,
+                                          double rate_hz, double t0, double t1,
+                                          double max_gap_s) {
+  if (rate_hz <= 0.0)
+    throw std::invalid_argument("resample_uniform: rate must be positive");
+  if (samples.empty() || t1 < t0) return {};
+  const double dt = 1.0 / rate_hz;
+  const auto count = static_cast<std::size_t>((t1 - t0) / dt) + 1;
+  std::vector<TimedSample> out;
+  out.reserve(count);
+  std::size_t cursor = 0;  // index of the last sample with time <= t
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = t0 + static_cast<double>(i) * dt;
+    while (cursor + 1 < samples.size() && samples[cursor + 1].time_s <= t)
+      ++cursor;
+    double value;
+    if (t <= samples.front().time_s) {
+      value = samples.front().value;
+    } else if (t >= samples.back().time_s) {
+      value = samples.back().value;
+    } else {
+      const TimedSample& a = samples[cursor];
+      const TimedSample& b = samples[cursor + 1];
+      const double gap = b.time_s - a.time_s;
+      if (max_gap_s > 0.0 && gap > max_gap_s) {
+        // Hold-last across dropouts instead of fabricating a ramp.
+        value = a.value;
+      } else if (gap <= 0.0) {
+        value = a.value;
+      } else {
+        const double frac = (t - a.time_s) / gap;
+        value = a.value + frac * (b.value - a.value);
+      }
+    }
+    out.push_back(TimedSample{t, value});
+  }
+  return out;
+}
+
+std::vector<TimedSample> resample_uniform(std::span<const TimedSample> samples,
+                                          double rate_hz, double max_gap_s) {
+  if (samples.empty()) return {};
+  return resample_uniform(samples, rate_hz, samples.front().time_s,
+                          samples.back().time_s, max_gap_s);
+}
+
+void split_series(std::span<const TimedSample> samples,
+                  std::vector<double>& times, std::vector<double>& values) {
+  times.clear();
+  values.clear();
+  times.reserve(samples.size());
+  values.reserve(samples.size());
+  for (const TimedSample& s : samples) {
+    times.push_back(s.time_s);
+    values.push_back(s.value);
+  }
+}
+
+double mean_sample_rate(std::span<const TimedSample> samples) noexcept {
+  if (samples.size() < 2) return 0.0;
+  const double span = samples.back().time_s - samples.front().time_s;
+  if (span <= 0.0) return 0.0;
+  return static_cast<double>(samples.size() - 1) / span;
+}
+
+bool is_time_sorted(std::span<const TimedSample> samples) noexcept {
+  for (std::size_t i = 1; i < samples.size(); ++i)
+    if (samples[i].time_s < samples[i - 1].time_s) return false;
+  return true;
+}
+
+}  // namespace tagbreathe::signal

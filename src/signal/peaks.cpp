@@ -1,0 +1,69 @@
+#include "signal/peaks.hpp"
+
+#include <algorithm>
+
+namespace tagbreathe::signal {
+
+namespace {
+
+double peak_prominence(std::span<const double> x, std::size_t idx) {
+  const double height = x[idx];
+  // Walk left until terrain rises above the peak (or the edge); the
+  // lowest point on that walk is the left base. Same on the right.
+  double left_base = height;
+  for (std::size_t i = idx; i-- > 0;) {
+    if (x[i] > height) break;
+    left_base = std::min(left_base, x[i]);
+  }
+  double right_base = height;
+  for (std::size_t i = idx + 1; i < x.size(); ++i) {
+    if (x[i] > height) break;
+    right_base = std::min(right_base, x[i]);
+  }
+  return height - std::max(left_base, right_base);
+}
+
+}  // namespace
+
+std::vector<Peak> find_peaks(std::span<const double> x,
+                             std::size_t min_distance,
+                             double min_prominence) {
+  std::vector<Peak> candidates;
+  if (x.size() < 3) return candidates;
+  if (min_distance == 0) min_distance = 1;
+
+  for (std::size_t i = 1; i + 1 < x.size(); ++i) {
+    if (!(x[i] > x[i - 1])) continue;
+    // Handle flat tops: advance to the end of the plateau.
+    std::size_t j = i;
+    while (j + 1 < x.size() && x[j + 1] == x[i]) ++j;
+    if (j + 1 >= x.size() || x[j + 1] >= x[i]) {
+      i = j;
+      continue;
+    }
+    const std::size_t centre = (i + j) / 2;
+    const double prom = peak_prominence(x, centre);
+    if (prom >= min_prominence)
+      candidates.push_back(Peak{centre, x[centre], prom});
+    i = j;
+  }
+
+  // Enforce min_distance greedily, keeping taller peaks first.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Peak& a, const Peak& b) { return a.value > b.value; });
+  std::vector<Peak> kept;
+  for (const Peak& p : candidates) {
+    const bool clash = std::any_of(
+        kept.begin(), kept.end(), [&](const Peak& q) {
+          const std::size_t gap =
+              p.index > q.index ? p.index - q.index : q.index - p.index;
+          return gap < min_distance;
+        });
+    if (!clash) kept.push_back(p);
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const Peak& a, const Peak& b) { return a.index < b.index; });
+  return kept;
+}
+
+}  // namespace tagbreathe::signal

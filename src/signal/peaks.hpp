@@ -1,0 +1,28 @@
+// Peak detection.
+//
+// Used for the FFT-peak baseline rate estimator and for breath-to-breath
+// interval analysis (apnea / irregularity extension).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tagbreathe::signal {
+
+struct Peak {
+  std::size_t index = 0;
+  double value = 0.0;
+  double prominence = 0.0;
+};
+
+/// Finds local maxima separated by at least `min_distance` samples and
+/// with prominence >= `min_prominence`. Prominence is the height of the
+/// peak above the higher of the two deepest valleys separating it from
+/// higher terrain (standard topographic definition, evaluated within the
+/// series).
+std::vector<Peak> find_peaks(std::span<const double> x,
+                             std::size_t min_distance = 1,
+                             double min_prominence = 0.0);
+
+}  // namespace tagbreathe::signal

@@ -1,0 +1,122 @@
+// Spectral analysis: periodogram, dominant frequency, the paper's
+// FFT-based low-pass filter, and Goertzel single-bin evaluation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "signal/window.hpp"
+
+namespace tagbreathe::signal {
+
+/// One-sided power spectrum sample: frequency [Hz] and power.
+struct SpectrumBin {
+  double frequency_hz = 0.0;
+  double power = 0.0;
+};
+
+/// Windowed periodogram: one-sided power spectral estimate of `x` sampled
+/// at `sample_rate_hz`. Bin spacing is fs/N — the 1/w resolution the paper
+/// calls out (25 s window -> 0.04 Hz -> 2.4 bpm quantisation).
+std::vector<SpectrumBin> periodogram(std::span<const double> x,
+                                     double sample_rate_hz,
+                                     WindowType window = WindowType::Hann);
+
+/// Frequency [Hz] of the strongest bin within [f_lo, f_hi]; refined by
+/// quadratic interpolation of the peak and its neighbours. Returns 0 if
+/// no bin falls in the band.
+double dominant_frequency(std::span<const double> x, double sample_rate_hz,
+                          double f_lo, double f_hi,
+                          WindowType window = WindowType::Hann);
+
+/// Like dominant_frequency, but each bin's power is weighted by f^2
+/// before the peak search. Integrated (random-walk) noise has a 1/f^2
+/// spectrum, so the weighting whitens it — equivalent to searching the
+/// spectrum of the differenced signal — and keeps a genuine oscillation
+/// peak from being buried by low-frequency drift.
+double dominant_frequency_whitened(std::span<const double> x,
+                                   double sample_rate_hz, double f_lo,
+                                   double f_hi,
+                                   WindowType window = WindowType::Hann);
+
+/// Short-time Fourier transform magnitude (spectrogram): one one-sided
+/// power spectrum per hop. Used by rate-trajectory analysis to follow a
+/// breathing rate that changes over the recording.
+struct Spectrogram {
+  /// frames[t][k] = power of bin k in frame t.
+  std::vector<std::vector<double>> frames;
+  /// Centre time [s] of each frame (relative to the input's first
+  /// sample at t = 0).
+  std::vector<double> frame_times_s;
+  /// Frequency [Hz] of each bin.
+  std::vector<double> bin_frequencies_hz;
+};
+
+/// Computes the spectrogram with `segment`-sample windows advanced by
+/// `hop` samples. Requires segment >= 8 and 1 <= hop <= segment; returns
+/// an empty spectrogram when the signal is shorter than one segment.
+Spectrogram stft(std::span<const double> x, double sample_rate_hz,
+                 std::size_t segment, std::size_t hop,
+                 WindowType window = WindowType::Hann);
+
+/// Welch PSD estimate: the signal is split into `segment` overlapping
+/// windows (50% overlap), each windowed and periodogram'd, and the
+/// per-segment spectra averaged. Trades frequency resolution for a
+/// `~sqrt(K)` variance reduction — useful for the quality metrics that
+/// compare band powers on short noisy windows. `segment` must be >= 8;
+/// a segment longer than the signal degrades to a plain periodogram.
+std::vector<SpectrumBin> welch_psd(std::span<const double> x,
+                                   double sample_rate_hz,
+                                   std::size_t segment,
+                                   WindowType window = WindowType::Hann);
+
+/// Fundamental-frequency estimate via the normalised autocorrelation
+/// (pitch-detection style). The ACF concentrates evidence from the
+/// fundamental *and* all harmonics at the true period, tolerates both
+/// white and random-walk noise, and resolves the period-multiple
+/// ambiguity by taking the smallest peak lag within 90% of the best.
+/// Searches periods in [1/f_hi, 1/f_lo]; returns 0 when no peak exists.
+/// `x` should be detrended / low-passed to f_hi by the caller.
+double autocorrelation_fundamental(std::span<const double> x,
+                                   double sample_rate_hz, double f_lo,
+                                   double f_hi);
+
+/// Noise-colour-agnostic peak search: ranks bins by their power relative
+/// to a local median background (the smoothed spectrum with the bin's own
+/// neighbourhood excluded). A narrow oscillation peak stands far above
+/// its local background whatever the broadband noise slope (white
+/// boundary noise, 1/f^2 random walk, or a mix — the displacement tracks
+/// of this system carry both).
+double dominant_frequency_significant(std::span<const double> x,
+                                      double sample_rate_hz, double f_lo,
+                                      double f_hi,
+                                      WindowType window = WindowType::Hann);
+
+/// The paper's breath-extraction filter (Sec. IV-B): FFT the series, zero
+/// every bin whose |frequency| exceeds `cutoff_hz` (0.67 Hz in the paper,
+/// i.e. 40 bpm), inverse FFT back to the time domain. Zero-phase by
+/// construction. The DC bin is also removed: the breathing signal is an
+/// oscillation around the rest chest position.
+std::vector<double> fft_lowpass(std::span<const double> x,
+                                double sample_rate_hz, double cutoff_hz,
+                                bool remove_dc = true);
+
+/// Band-pass variant used by the robustness extensions: keeps bins with
+/// f_lo <= |f| <= f_hi.
+std::vector<double> fft_bandpass(std::span<const double> x,
+                                 double sample_rate_hz, double f_lo,
+                                 double f_hi);
+
+/// Goertzel algorithm: power of the single DFT bin nearest `freq_hz`.
+/// O(N) per frequency — cheaper than a full FFT when the pipeline only
+/// needs the power in a handful of candidate breathing bins.
+double goertzel_power(std::span<const double> x, double sample_rate_hz,
+                      double freq_hz);
+
+/// Ratio of band power in [f_lo, f_hi] to total power (DC excluded).
+/// Used as a signal-quality metric by the antenna selector.
+double band_power_ratio(std::span<const double> x, double sample_rate_hz,
+                        double f_lo, double f_hi);
+
+}  // namespace tagbreathe::signal

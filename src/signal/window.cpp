@@ -1,0 +1,65 @@
+#include "signal/window.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace tagbreathe::signal {
+
+using tagbreathe::common::kTwoPi;
+
+std::vector<double> make_window(WindowType type, std::size_t n) {
+  std::vector<double> w(n, 1.0);
+  if (n <= 1) return w;
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / denom;  // in [0, 1]
+    switch (type) {
+      case WindowType::Rectangular:
+        w[i] = 1.0;
+        break;
+      case WindowType::Hann:
+        w[i] = 0.5 - 0.5 * std::cos(kTwoPi * x);
+        break;
+      case WindowType::Hamming:
+        w[i] = 0.54 - 0.46 * std::cos(kTwoPi * x);
+        break;
+      case WindowType::Blackman:
+        w[i] = 0.42 - 0.5 * std::cos(kTwoPi * x) +
+               0.08 * std::cos(2.0 * kTwoPi * x);
+        break;
+      case WindowType::BlackmanHarris:
+        w[i] = 0.35875 - 0.48829 * std::cos(kTwoPi * x) +
+               0.14128 * std::cos(2.0 * kTwoPi * x) -
+               0.01168 * std::cos(3.0 * kTwoPi * x);
+        break;
+    }
+  }
+  return w;
+}
+
+void apply_window(std::span<double> data, std::span<const double> window) {
+  if (data.size() != window.size())
+    throw std::invalid_argument("apply_window: size mismatch");
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] *= window[i];
+}
+
+double window_gain(std::span<const double> window) noexcept {
+  double s = 0.0;
+  for (double w : window) s += w;
+  return s;
+}
+
+const char* window_name(WindowType type) noexcept {
+  switch (type) {
+    case WindowType::Rectangular: return "rectangular";
+    case WindowType::Hann: return "hann";
+    case WindowType::Hamming: return "hamming";
+    case WindowType::Blackman: return "blackman";
+    case WindowType::BlackmanHarris: return "blackman-harris";
+  }
+  return "?";
+}
+
+}  // namespace tagbreathe::signal

@@ -1,0 +1,23 @@
+// Window functions for spectral analysis and FIR design.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tagbreathe::signal {
+
+enum class WindowType { Rectangular, Hann, Hamming, Blackman, BlackmanHarris };
+
+/// Generates an n-point symmetric window.
+std::vector<double> make_window(WindowType type, std::size_t n);
+
+/// Multiplies the signal by the window element-wise (sizes must match).
+void apply_window(std::span<double> data, std::span<const double> window);
+
+/// Sum of window coefficients (for periodogram amplitude correction).
+double window_gain(std::span<const double> window) noexcept;
+
+const char* window_name(WindowType type) noexcept;
+
+}  // namespace tagbreathe::signal

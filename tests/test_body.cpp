@@ -1,0 +1,262 @@
+// Unit tests: breathing model, metronome schedules, apnea, subject
+// geometry and sway.
+#include <gtest/gtest.h>
+
+#include "body/breathing_model.hpp"
+#include "body/motion.hpp"
+#include "body/subject.hpp"
+#include "common/units.hpp"
+
+namespace tagbreathe::body {
+namespace {
+
+TEST(Metronome, ConstantRate) {
+  MetronomeSchedule m(12.0);
+  EXPECT_DOUBLE_EQ(m.rate_bpm_at(0.0), 12.0);
+  EXPECT_DOUBLE_EQ(m.rate_bpm_at(100.0), 12.0);
+  // 12 bpm = 0.2 Hz: 60 s -> 12 cycles.
+  EXPECT_NEAR(m.phase_cycles_at(60.0), 12.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.mean_rate_bpm(0.0, 60.0), 12.0);
+}
+
+TEST(Metronome, PiecewiseRatesAndContinuity) {
+  MetronomeSchedule m({{0.0, 10.0}, {30.0, 20.0}, {60.0, 5.0}});
+  EXPECT_DOUBLE_EQ(m.rate_bpm_at(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(m.rate_bpm_at(30.0), 20.0);
+  EXPECT_DOUBLE_EQ(m.rate_bpm_at(1000.0), 5.0);
+  // Phase continuous at the boundary.
+  const double eps = 1e-6;
+  EXPECT_NEAR(m.phase_cycles_at(30.0 - eps), m.phase_cycles_at(30.0 + eps),
+              1e-4);
+  // Mean over the first minute: 30 s at 10 + 30 s at 20 = 15 bpm mean.
+  EXPECT_NEAR(m.mean_rate_bpm(0.0, 60.0), 15.0, 1e-9);
+}
+
+TEST(Metronome, PhaseIsMonotonic) {
+  MetronomeSchedule m({{0.0, 8.0}, {20.0, 16.0}});
+  double prev = -1.0;
+  for (double t = 0.0; t < 60.0; t += 0.25) {
+    const double p = m.phase_cycles_at(t);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Metronome, Validation) {
+  EXPECT_THROW(MetronomeSchedule(std::vector<RateSegment>{}),
+               std::invalid_argument);
+  EXPECT_THROW(MetronomeSchedule({{5.0, 10.0}}), std::invalid_argument);
+  EXPECT_THROW(MetronomeSchedule({{0.0, 10.0}, {0.0, 12.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(MetronomeSchedule({{0.0, -1.0}}), std::invalid_argument);
+}
+
+TEST(BreathExcursion, BoundedAndPeriodic) {
+  const BreathShape shape{};
+  for (double p = -2.0; p < 3.0; p += 0.01) {
+    const double g = breath_excursion(p, shape);
+    EXPECT_GE(g, 0.0);
+    EXPECT_LE(g, 1.0);
+    EXPECT_NEAR(g, breath_excursion(p + 1.0, shape), 1e-12);
+  }
+}
+
+TEST(BreathExcursion, InhaleReachesPeakAtInhaleFraction) {
+  BreathShape shape;
+  shape.inhale_fraction = 0.4;
+  shape.pause_fraction = 0.1;
+  shape.harmonic_level = 0.0;
+  EXPECT_NEAR(breath_excursion(0.0, shape), 0.0, 1e-12);
+  EXPECT_NEAR(breath_excursion(0.4, shape), 1.0, 1e-9);
+  // End-expiration pause sits at zero.
+  EXPECT_NEAR(breath_excursion(0.95, shape), 0.0, 1e-12);
+}
+
+TEST(BreathExcursion, AsymmetryMakesInhaleFasterThanExhale) {
+  BreathShape shape;
+  shape.inhale_fraction = 0.3;
+  shape.pause_fraction = 0.0;
+  shape.harmonic_level = 0.0;
+  // Slope magnitude early in inhale > slope early in exhale.
+  const double di = breath_excursion(0.15, shape) - breath_excursion(0.14, shape);
+  const double de = breath_excursion(0.64, shape) - breath_excursion(0.65, shape);
+  EXPECT_GT(di, de);
+}
+
+TEST(BreathingModel, DisplacementScalesWithAmplitude) {
+  BreathingModel model(MetronomeSchedule(12.0), BreathShape{});
+  const double d1 = model.displacement_m(1.3, 0.005);
+  const double d2 = model.displacement_m(1.3, 0.010);
+  EXPECT_NEAR(d2, 2.0 * d1, 1e-12);
+}
+
+TEST(BreathingModel, ApneaFreezesDisplacement) {
+  BreathingModel model(MetronomeSchedule(12.0), BreathShape{},
+                       {{10.0, 5.0}});
+  const double frozen = model.displacement_m(10.0, 0.01);
+  for (double t = 10.1; t < 15.0; t += 0.5)
+    EXPECT_NEAR(model.displacement_m(t, 0.01), frozen, 1e-9) << t;
+  EXPECT_TRUE(model.in_apnea(12.0));
+  EXPECT_FALSE(model.in_apnea(15.5));
+  EXPECT_DOUBLE_EQ(model.true_rate_bpm(12.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.true_rate_bpm(16.0), 12.0);
+}
+
+TEST(BreathingModel, BreathingResumesAfterApnea) {
+  BreathingModel with_apnea(MetronomeSchedule(12.0), BreathShape{},
+                            {{10.0, 5.0}});
+  BreathingModel without(MetronomeSchedule(12.0), BreathShape{});
+  // After the apnea, the waveform continues from where it paused: the
+  // displacement at t matches the no-apnea displacement at t - 5.
+  for (double t = 16.0; t < 30.0; t += 0.7) {
+    EXPECT_NEAR(with_apnea.displacement_m(t, 0.01),
+                without.displacement_m(t - 5.0, 0.01), 1e-9)
+        << t;
+  }
+}
+
+TEST(BreathingModel, RejectsNegativeApnea) {
+  EXPECT_THROW(BreathingModel(MetronomeSchedule(10.0), BreathShape{},
+                              {{5.0, -1.0}}),
+               std::invalid_argument);
+}
+
+// --- subject ------------------------------------------------------------
+
+SubjectConfig base_config() {
+  SubjectConfig cfg;
+  cfg.user_id = 3;
+  cfg.position = {4.0, 0.0, 0.0};
+  cfg.heading_rad = common::kPi;  // facing the origin
+  return cfg;
+}
+
+TEST(Subject, SiteHeightsOrdered) {
+  Subject s(base_config(), BreathingModel(MetronomeSchedule(10.0), {}));
+  EXPECT_GT(s.site_height(TagSite::Chest), s.site_height(TagSite::Mid));
+  EXPECT_GT(s.site_height(TagSite::Mid), s.site_height(TagSite::Abdomen));
+}
+
+TEST(Subject, StandingIsTallerThanSitting) {
+  auto cfg = base_config();
+  Subject sitting(cfg, BreathingModel(MetronomeSchedule(10.0), {}));
+  cfg.posture = Posture::Standing;
+  Subject standing(cfg, BreathingModel(MetronomeSchedule(10.0), {}));
+  EXPECT_GT(standing.site_height(TagSite::Chest),
+            sitting.site_height(TagSite::Chest));
+}
+
+TEST(Subject, OrientationToAntenna) {
+  auto cfg = base_config();
+  Subject facing(cfg, BreathingModel(MetronomeSchedule(10.0), {}));
+  EXPECT_NEAR(facing.orientation_to({0.0, 0.0, 1.0}), 0.0, 1e-9);
+
+  cfg.heading_rad = common::kPi + common::deg_to_rad(60.0);
+  Subject rotated(cfg, BreathingModel(MetronomeSchedule(10.0), {}));
+  EXPECT_NEAR(common::rad_to_deg(rotated.orientation_to({0.0, 0.0, 1.0})),
+              60.0, 1e-6);
+
+  cfg.heading_rad = 0.0;  // back turned
+  Subject back(cfg, BreathingModel(MetronomeSchedule(10.0), {}));
+  EXPECT_NEAR(common::rad_to_deg(back.orientation_to({0.0, 0.0, 1.0})),
+              180.0, 1e-6);
+}
+
+TEST(Subject, BreathingMovesTagTowardAntenna) {
+  auto cfg = base_config();
+  cfg.sway_amplitude_m = 0.0;
+  Subject s(cfg, BreathingModel(MetronomeSchedule(10.0), {}));
+  // Track the chest tag distance to the antenna over one breath (6 s):
+  // it must vary by roughly the site amplitude.
+  const common::Vec3 antenna{0.0, 0.0, 1.0};
+  double dmin = 1e9, dmax = -1e9;
+  for (double t = 0.0; t < 6.0; t += 0.05) {
+    const double d = common::distance(antenna, s.tag_position(TagSite::Chest, t));
+    dmin = std::min(dmin, d);
+    dmax = std::max(dmax, d);
+  }
+  const double swing = dmax - dmin;
+  EXPECT_GT(swing, 0.5 * s.site_amplitude(TagSite::Chest));
+  EXPECT_LT(swing, 2.0 * s.site_amplitude(TagSite::Chest));
+}
+
+TEST(Subject, AllSitesMoveInPhase) {
+  auto cfg = base_config();
+  cfg.sway_amplitude_m = 0.0;
+  Subject s(cfg, BreathingModel(MetronomeSchedule(10.0), {}));
+  const common::Vec3 antenna{0.0, 0.0, 1.0};
+  // Distances at peak inhale (t = 0.4*6 = 2.4 s) all smaller than at
+  // end-expiration (t = 0).
+  for (TagSite site : Subject::all_sites()) {
+    const double d0 = common::distance(antenna, s.tag_position(site, 0.0));
+    const double dpeak =
+        common::distance(antenna, s.tag_position(site, 2.4));
+    EXPECT_LT(dpeak, d0) << tag_site_name(site);
+  }
+}
+
+TEST(Subject, ChestStyleShiftsAmplitudes) {
+  auto cfg = base_config();
+  cfg.chest_style = 1.0;  // pure chest breather
+  Subject chesty(cfg, BreathingModel(MetronomeSchedule(10.0), {}));
+  EXPECT_GT(chesty.site_amplitude(TagSite::Chest),
+            chesty.site_amplitude(TagSite::Abdomen));
+  cfg.chest_style = 0.0;  // pure abdominal breather
+  Subject belly(cfg, BreathingModel(MetronomeSchedule(10.0), {}));
+  EXPECT_GT(belly.site_amplitude(TagSite::Abdomen),
+            belly.site_amplitude(TagSite::Chest));
+}
+
+TEST(Subject, LyingFacesUp) {
+  auto cfg = base_config();
+  cfg.posture = Posture::Lying;
+  Subject s(cfg, BreathingModel(MetronomeSchedule(10.0), {}));
+  EXPECT_NEAR(s.facing().z, 1.0, 1e-12);
+  // All sites at bed height.
+  for (TagSite site : Subject::all_sites())
+    EXPECT_NEAR(s.site_height(site), 0.75, 1e-12);
+  // An antenna directly overhead sees orientation ~0.
+  const auto overhead = s.tag_position(TagSite::Mid, 0.0) +
+                        common::Vec3{0.0, 0.0, 2.0};
+  EXPECT_LT(common::rad_to_deg(s.orientation_to(overhead)), 10.0);
+}
+
+TEST(Subject, NamesAreStable) {
+  EXPECT_STREQ(posture_name(Posture::Sitting), "sitting");
+  EXPECT_STREQ(posture_name(Posture::Lying), "lying");
+  EXPECT_STREQ(tag_site_name(TagSite::Chest), "chest");
+  EXPECT_STREQ(tag_site_name(TagSite::Abdomen), "abdomen");
+}
+
+// --- sway ----------------------------------------------------------------
+
+TEST(Sway, BoundedByAmplitude) {
+  SwayProcess sway(0.002, 77);
+  for (double t = 0.0; t < 100.0; t += 0.37) {
+    const auto off = sway.offset(t);
+    EXPECT_LE(off.norm(), 0.002 + 1e-12) << t;
+    EXPECT_DOUBLE_EQ(off.z, 0.0);
+  }
+}
+
+TEST(Sway, DeterministicPerSeed) {
+  SwayProcess a(0.001, 5), b(0.001, 5), c(0.001, 6);
+  const auto oa = a.offset(3.21);
+  const auto ob = b.offset(3.21);
+  const auto oc = c.offset(3.21);
+  EXPECT_DOUBLE_EQ(oa.x, ob.x);
+  EXPECT_DOUBLE_EQ(oa.y, ob.y);
+  EXPECT_NE(oa.x, oc.x);
+}
+
+TEST(Sway, IsSlow) {
+  // Sway frequencies are <= 0.15 Hz: over 0.1 s the offset barely moves.
+  SwayProcess sway(0.002, 9);
+  for (double t = 0.0; t < 20.0; t += 1.0) {
+    const auto d = sway.offset(t + 0.1) - sway.offset(t);
+    EXPECT_LT(d.norm(), 2.0e-4);
+  }
+}
+
+}  // namespace
+}  // namespace tagbreathe::body

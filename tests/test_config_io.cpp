@@ -1,0 +1,154 @@
+// Unit tests: INI parser and scenario (de)serialisation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/ini.hpp"
+#include "experiments/scenario_io.hpp"
+
+namespace tagbreathe {
+namespace {
+
+using common::IniFile;
+
+// --- ini ---------------------------------------------------------------
+
+TEST(Ini, ParsesSectionsAndValues) {
+  std::istringstream in(R"(
+# comment
+[alpha]
+key = value
+number = 42   ; trailing comment
+
+[beta]
+flag = true
+)");
+  const IniFile ini = IniFile::parse(in);
+  ASSERT_EQ(ini.sections().size(), 2u);
+  const auto* alpha = ini.find("alpha");
+  ASSERT_NE(alpha, nullptr);
+  EXPECT_EQ(alpha->get_string("key", ""), "value");
+  EXPECT_EQ(alpha->get_int("number", 0), 42);
+  EXPECT_TRUE(ini.find("beta")->get_bool("flag", false));
+  EXPECT_EQ(ini.find("gamma"), nullptr);
+}
+
+TEST(Ini, RepeatedSectionsKeepOrder) {
+  std::istringstream in("[user]\na = 1\n[user]\na = 2\n");
+  const IniFile ini = IniFile::parse(in);
+  const auto users = ini.find_all("user");
+  ASSERT_EQ(users.size(), 2u);
+  EXPECT_EQ(users[0]->get_int("a", 0), 1);
+  EXPECT_EQ(users[1]->get_int("a", 0), 2);
+}
+
+TEST(Ini, TypedGettersValidate) {
+  std::istringstream in("[s]\nnum = 1.5\nbad = xyz\nflag = on\n");
+  const IniFile ini = IniFile::parse(in);
+  const auto* s = ini.find("s");
+  EXPECT_DOUBLE_EQ(s->get_double("num", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(s->get_double("missing", 7.5), 7.5);
+  EXPECT_THROW(s->get_double("bad", 0.0), std::runtime_error);
+  EXPECT_THROW(s->get_int("num", 0), std::runtime_error);  // trailing .5
+  EXPECT_TRUE(s->get_bool("flag", false));
+  EXPECT_THROW(s->get_bool("bad", false), std::runtime_error);
+}
+
+TEST(Ini, SyntaxErrorsCarryLineNumbers) {
+  std::istringstream unterminated("[oops\n");
+  try {
+    IniFile::parse(unterminated);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+  std::istringstream orphan("key = 1\n");
+  EXPECT_THROW(IniFile::parse(orphan), std::runtime_error);
+  std::istringstream noeq("[s]\njust words\n");
+  EXPECT_THROW(IniFile::parse(noeq), std::runtime_error);
+}
+
+// --- scenario io -------------------------------------------------------------
+
+TEST(ScenarioIo, DefaultsWhenEmpty) {
+  std::istringstream in("");
+  const auto cfg = experiments::scenario_from_ini(in);
+  EXPECT_DOUBLE_EQ(cfg.distance_m, 4.0);
+  EXPECT_EQ(cfg.users.size(), 1u);
+  EXPECT_DOUBLE_EQ(cfg.users[0].rate_bpm, 10.0);
+}
+
+TEST(ScenarioIo, ParsesFullScenario) {
+  std::istringstream in(R"(
+[scenario]
+distance_m = 2.5
+tags_per_user = 2
+contending_tags = 7
+duration_s = 45
+seed = 99
+
+[user]
+rate_bpm = 14
+posture = standing
+orientation_deg = 30
+apnea = 10:3, 20:4
+
+[user]
+schedule = 0:18, 30:12
+posture = lying
+)");
+  const auto cfg = experiments::scenario_from_ini(in);
+  EXPECT_DOUBLE_EQ(cfg.distance_m, 2.5);
+  EXPECT_EQ(cfg.tags_per_user, 2);
+  EXPECT_EQ(cfg.contending_tags, 7);
+  EXPECT_EQ(cfg.seed, 99u);
+  ASSERT_EQ(cfg.users.size(), 2u);
+  EXPECT_DOUBLE_EQ(cfg.users[0].rate_bpm, 14.0);
+  EXPECT_EQ(cfg.users[0].posture, body::Posture::Standing);
+  ASSERT_EQ(cfg.users[0].apneas.size(), 2u);
+  EXPECT_DOUBLE_EQ(cfg.users[0].apneas[1].start_s, 20.0);
+  ASSERT_EQ(cfg.users[1].schedule.size(), 2u);
+  EXPECT_DOUBLE_EQ(cfg.users[1].schedule[1].rate_bpm, 12.0);
+  EXPECT_EQ(cfg.users[1].posture, body::Posture::Lying);
+}
+
+TEST(ScenarioIo, RejectsUnknownKeysAndBadValues) {
+  std::istringstream typo("[scenario]\ndistancem = 4\n");
+  EXPECT_THROW(experiments::scenario_from_ini(typo), std::runtime_error);
+
+  std::istringstream bad_posture("[user]\nposture = floating\n");
+  EXPECT_THROW(experiments::scenario_from_ini(bad_posture),
+               std::runtime_error);
+
+  std::istringstream bad_pairs("[user]\napnea = 10-3\n");
+  EXPECT_THROW(experiments::scenario_from_ini(bad_pairs),
+               std::runtime_error);
+
+  // Values that fail Scenario's own validation are also rejected.
+  std::istringstream bad_tags("[scenario]\ntags_per_user = 9\n");
+  EXPECT_THROW(experiments::scenario_from_ini(bad_tags),
+               std::invalid_argument);
+}
+
+TEST(ScenarioIo, RoundTrips) {
+  experiments::ScenarioConfig cfg;
+  cfg.distance_m = 3.25;
+  cfg.contending_tags = 4;
+  cfg.users[0].rate_bpm = 13.0;
+  cfg.users[0].apneas = {{30.0, 6.0}};
+  experiments::UserSpec second;
+  second.schedule = {{0.0, 16.0}, {60.0, 9.0}};
+  cfg.users.push_back(second);
+
+  const std::string ini = experiments::scenario_to_ini(cfg);
+  std::istringstream in(ini);
+  const auto back = experiments::scenario_from_ini(in);
+  EXPECT_DOUBLE_EQ(back.distance_m, cfg.distance_m);
+  EXPECT_EQ(back.contending_tags, cfg.contending_tags);
+  ASSERT_EQ(back.users.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.users[0].apneas[0].duration_s, 6.0);
+  EXPECT_DOUBLE_EQ(back.users[1].schedule[1].rate_bpm, 9.0);
+}
+
+}  // namespace
+}  // namespace tagbreathe

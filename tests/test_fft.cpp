@@ -1,0 +1,166 @@
+// Unit + property tests: FFT (radix-2 and Bluestein paths).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "signal/fft.hpp"
+
+namespace tagbreathe::signal {
+namespace {
+
+using common::kTwoPi;
+
+std::vector<cdouble> random_signal(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<cdouble> x(n);
+  for (auto& v : x) v = {rng.normal(), rng.normal()};
+  return x;
+}
+
+/// O(N^2) reference DFT.
+std::vector<cdouble> naive_dft(std::span<const cdouble> x) {
+  const std::size_t n = x.size();
+  std::vector<cdouble> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cdouble acc(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = -kTwoPi * static_cast<double>(k * j) /
+                           static_cast<double>(n);
+      acc += x[j] * cdouble(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+TEST(Fft, HelpersNextPow2AndIsPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(5), 8u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+}
+
+TEST(Fft, RejectsNonPow2InPlace) {
+  std::vector<cdouble> x(6);
+  EXPECT_THROW(fft_pow2(x), std::invalid_argument);
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, InverseRecoversInput) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 1000 + n);
+  const auto back = ifft(fft(x));
+  ASSERT_EQ(back.size(), n);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(back[i] - x[i]), 0.0, 1e-9) << "i=" << i;
+}
+
+TEST_P(FftRoundTrip, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 2000 + n);
+  const auto X = fft(x);
+  double ex = 0.0, eX = 0.0;
+  for (const auto& v : x) ex += std::norm(v);
+  for (const auto& v : X) eX += std::norm(v);
+  EXPECT_NEAR(eX / ex, static_cast<double>(n), 1e-6 * static_cast<double>(n));
+}
+
+TEST_P(FftRoundTrip, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  if (n > 512) GTEST_SKIP() << "naive DFT too slow";
+  const auto x = random_signal(n, 3000 + n);
+  const auto fast = fft(x);
+  const auto slow = naive_dft(x);
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_NEAR(std::abs(fast[k] - slow[k]), 0.0, 1e-7) << "bin " << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 12, 17, 64, 100,
+                                           128, 241, 256, 500, 1000, 2048,
+                                           2400));
+
+TEST(Fft, Linearity) {
+  const auto a = random_signal(128, 5);
+  const auto b = random_signal(128, 6);
+  std::vector<cdouble> combo(128);
+  for (std::size_t i = 0; i < 128; ++i) combo[i] = 2.0 * a[i] - 3.0 * b[i];
+  const auto fa = fft(a);
+  const auto fb = fft(b);
+  const auto fc = fft(combo);
+  for (std::size_t i = 0; i < 128; ++i)
+    EXPECT_NEAR(std::abs(fc[i] - (2.0 * fa[i] - 3.0 * fb[i])), 0.0, 1e-8);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<cdouble> x(64, cdouble(0.0, 0.0));
+  x[0] = cdouble(1.0, 0.0);
+  const auto X = fft(x);
+  for (const auto& v : X) EXPECT_NEAR(std::abs(v - cdouble(1.0, 0.0)), 0.0, 1e-10);
+}
+
+TEST(Fft, DcGoesToBinZero) {
+  std::vector<double> x(100, 2.5);
+  const auto X = fft_real(x);
+  EXPECT_NEAR(std::abs(X[0]), 250.0, 1e-6);
+  for (std::size_t k = 1; k < X.size(); ++k)
+    EXPECT_NEAR(std::abs(X[k]), 0.0, 1e-7);
+}
+
+TEST(Fft, PureToneLandsInCorrectBin) {
+  constexpr std::size_t n = 200;  // Bluestein path
+  constexpr double fs = 20.0;
+  constexpr std::size_t target_bin = 7;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::sin(kTwoPi * static_cast<double>(target_bin) *
+                    static_cast<double>(i) / static_cast<double>(n));
+  const auto X = fft_real(x);
+  const auto mags = magnitude(X);
+  std::size_t peak = 1;
+  for (std::size_t k = 1; k <= n / 2; ++k)
+    if (mags[k] > mags[peak]) peak = k;
+  EXPECT_EQ(peak, target_bin);
+  EXPECT_NEAR(bin_frequency(peak, n, fs),
+              static_cast<double>(target_bin) * fs / n, 1e-12);
+}
+
+TEST(Fft, RealSignalSpectrumIsConjugateSymmetric) {
+  common::Rng rng(77);
+  std::vector<double> x(96);
+  for (auto& v : x) v = rng.normal();
+  const auto X = fft_real(x);
+  for (std::size_t k = 1; k < x.size(); ++k) {
+    const auto sym = std::conj(X[x.size() - k]);
+    EXPECT_NEAR(std::abs(X[k] - sym), 0.0, 1e-8);
+  }
+}
+
+TEST(Fft, IfftRealRecoversRealSignal) {
+  common::Rng rng(78);
+  std::vector<double> x(150);
+  for (auto& v : x) v = rng.normal();
+  const auto back = ifft_real(fft_real(x));
+  ASSERT_EQ(back.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(back[i], x[i], 1e-9);
+}
+
+TEST(Fft, BinFrequencyNegativeHalf) {
+  EXPECT_DOUBLE_EQ(bin_frequency(0, 8, 16.0), 0.0);
+  EXPECT_DOUBLE_EQ(bin_frequency(4, 8, 16.0), 8.0);   // Nyquist
+  EXPECT_DOUBLE_EQ(bin_frequency(5, 8, 16.0), -6.0);  // negative side
+  EXPECT_DOUBLE_EQ(bin_frequency(7, 8, 16.0), -2.0);
+}
+
+TEST(Fft, EmptyInput) {
+  EXPECT_TRUE(fft(std::vector<cdouble>{}).empty());
+  EXPECT_TRUE(ifft(std::vector<cdouble>{}).empty());
+}
+
+}  // namespace
+}  // namespace tagbreathe::signal

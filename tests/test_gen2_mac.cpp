@@ -1,0 +1,212 @@
+// Unit + property tests: the Gen2 framed-slotted-ALOHA MAC.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "rfid/gen2_mac.hpp"
+
+namespace tagbreathe::rfid {
+namespace {
+
+const auto kAlwaysDecode = [](std::size_t) { return 1.0; };
+
+/// Runs the MAC for `duration_s` of simulated air time; returns per-tag
+/// success counts.
+std::vector<int> run_mac(Gen2Mac& mac, const std::vector<bool>& energised,
+                         double duration_s, common::Rng& rng,
+                         const std::function<double(std::size_t)>& decode =
+                             kAlwaysDecode) {
+  std::vector<int> reads(energised.size(), 0);
+  double t = 0.0;
+  while (t < duration_s) {
+    const SlotResult slot = mac.step(energised, decode, rng);
+    t += slot.duration_s;
+    EXPECT_GT(slot.duration_s, 0.0);
+    if (slot.kind == SlotKind::Success)
+      ++reads[static_cast<std::size_t>(slot.tag_index)];
+  }
+  return reads;
+}
+
+TEST(Gen2Mac, SingleTagReadsAtCalibratedRate) {
+  // Calibration target (Sec. IV-A): ~64 reads/s for one tag.
+  Gen2Mac mac(1);
+  common::Rng rng(1);
+  const auto reads = run_mac(mac, {true}, 10.0, rng);
+  EXPECT_GT(reads[0], 550);
+  EXPECT_LT(reads[0], 800);
+}
+
+TEST(Gen2Mac, EveryTagGetsReadUnderContention) {
+  constexpr std::size_t kTags = 20;
+  Gen2Mac mac(kTags);
+  common::Rng rng(2);
+  const auto reads = run_mac(mac, std::vector<bool>(kTags, true), 10.0, rng);
+  for (std::size_t i = 0; i < kTags; ++i)
+    EXPECT_GT(reads[i], 10) << "tag " << i;
+}
+
+TEST(Gen2Mac, ThroughputSaturatesWithPopulation) {
+  // Total reads/s should not collapse as tags are added (slotted ALOHA
+  // with Q adaptation keeps efficiency up), and per-tag rate must fall.
+  auto total_rate = [](std::size_t n, std::uint64_t seed) {
+    Gen2Mac mac(n);
+    common::Rng rng(seed);
+    const auto reads =
+        run_mac(mac, std::vector<bool>(n, true), 10.0, rng);
+    int total = 0;
+    for (int r : reads) total += r;
+    return static_cast<double>(total) / 10.0;
+  };
+  const double r1 = total_rate(1, 3);
+  const double r12 = total_rate(12, 4);
+  const double r33 = total_rate(33, 5);
+  EXPECT_GT(r12, r1);         // round overhead amortises
+  EXPECT_GT(r33, 0.75 * r12); // no collapse
+  EXPECT_LT(r33 / 33.0, r1);  // per-tag rate falls
+}
+
+TEST(Gen2Mac, FairnessAcrossTags) {
+  constexpr std::size_t kTags = 8;
+  Gen2Mac mac(kTags);
+  common::Rng rng(6);
+  const auto reads = run_mac(mac, std::vector<bool>(kTags, true), 20.0, rng);
+  int lo = reads[0], hi = reads[0];
+  for (int r : reads) {
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  EXPECT_GT(lo, hi / 2) << "unfair: " << lo << " vs " << hi;
+}
+
+TEST(Gen2Mac, RoundsCompleteAndFlagsReset) {
+  Gen2Mac mac(3);
+  common::Rng rng(7);
+  run_mac(mac, {true, true, true}, 2.0, rng);
+  // In 2 s at ~60 reads/s in rounds of 3, expect dozens of rounds.
+  EXPECT_GT(mac.stats().rounds_completed, 20u);
+  // Every round reads each tag exactly once -> successes ~ 3x rounds.
+  EXPECT_NEAR(static_cast<double>(mac.stats().successes),
+              3.0 * static_cast<double>(mac.stats().rounds_completed), 6.0);
+}
+
+TEST(Gen2Mac, UnenergisedTagsIdle) {
+  Gen2Mac mac(2);
+  common::Rng rng(8);
+  const auto reads = run_mac(mac, {false, false}, 1.0, rng);
+  EXPECT_EQ(reads[0] + reads[1], 0);
+  EXPECT_GT(mac.stats().idles, 0u);
+  EXPECT_EQ(mac.stats().successes, 0u);
+}
+
+TEST(Gen2Mac, PartialEnergisationOnlyReadsLiveTags) {
+  Gen2Mac mac(4);
+  common::Rng rng(9);
+  const auto reads = run_mac(mac, {true, false, true, false}, 5.0, rng);
+  EXPECT_GT(reads[0], 50);
+  EXPECT_GT(reads[2], 50);
+  EXPECT_EQ(reads[1], 0);
+  EXPECT_EQ(reads[3], 0);
+}
+
+TEST(Gen2Mac, DecodeFailuresRetryUntilSuccess) {
+  Gen2Mac mac(1);
+  common::Rng rng(10);
+  const auto reads =
+      run_mac(mac, {true}, 10.0, rng, [](std::size_t) { return 0.3; });
+  // Lower rate than clean, but the tag is still read repeatedly.
+  EXPECT_GT(reads[0], 100);
+  EXPECT_GT(mac.stats().failed_reads, mac.stats().successes);
+}
+
+TEST(Gen2Mac, ZeroDecodeProbabilityNeverSucceeds) {
+  Gen2Mac mac(1);
+  common::Rng rng(11);
+  const auto reads =
+      run_mac(mac, {true}, 1.0, rng, [](std::size_t) { return 0.0; });
+  EXPECT_EQ(reads[0], 0);
+  EXPECT_GT(mac.stats().failed_reads, 0u);
+}
+
+TEST(Gen2Mac, QStaysInBounds) {
+  QConfig q;
+  q.initial_q = 4.0;
+  Gen2Mac mac(64, MacTimings{}, q);
+  common::Rng rng(12);
+  double t = 0.0;
+  while (t < 5.0) {
+    const auto slot = mac.step(std::vector<bool>(64, true), kAlwaysDecode, rng);
+    t += slot.duration_s;
+    EXPECT_GE(mac.current_q(), 0);
+    EXPECT_LE(mac.current_q(), 15);
+  }
+  // With 64 tags Q should have adapted upward from 4.
+  EXPECT_GE(mac.current_q(), 5);
+}
+
+TEST(Gen2Mac, StatsAreConsistent) {
+  Gen2Mac mac(5);
+  common::Rng rng(13);
+  std::uint64_t slots = 0;
+  double t = 0.0;
+  while (t < 3.0) {
+    t += mac.step(std::vector<bool>(5, true), kAlwaysDecode, rng).duration_s;
+    ++slots;
+  }
+  const MacStats& s = mac.stats();
+  EXPECT_EQ(s.queries + s.empties + s.collisions + s.successes +
+                s.failed_reads + s.idles,
+            slots);
+  EXPECT_GT(s.collisions, 0u);  // 5 tags must collide sometimes
+  EXPECT_GT(s.empties, 0u);
+}
+
+TEST(Gen2Mac, AbortFrameForcesRequery) {
+  Gen2Mac mac(2);
+  common::Rng rng(14);
+  const std::vector<bool> all{true, true};
+  // Enter a frame.
+  auto first = mac.step(all, kAlwaysDecode, rng);
+  EXPECT_EQ(first.kind, SlotKind::Query);
+  mac.abort_frame();
+  // Next step must be a new Query, not a slot of the aborted frame.
+  const auto next = mac.step(all, kAlwaysDecode, rng);
+  EXPECT_EQ(next.kind, SlotKind::Query);
+}
+
+TEST(Gen2Mac, ResetSessionClearsInventoriedFlags) {
+  Gen2Mac mac(1);
+  common::Rng rng(15);
+  // Read the tag once.
+  std::vector<int> reads = run_mac(mac, {true}, 0.05, rng);
+  EXPECT_GE(reads[0], 1);
+  const auto rounds_before = mac.stats().rounds_completed;
+  mac.reset_session();
+  // The tag is readable again without needing a round-complete reset.
+  reads = run_mac(mac, {true}, 0.05, rng);
+  EXPECT_GE(reads[0], 1);
+  (void)rounds_before;
+}
+
+TEST(Gen2Mac, Validation) {
+  EXPECT_THROW(Gen2Mac(0), std::invalid_argument);
+  QConfig bad;
+  bad.min_q = 5.0;
+  bad.max_q = 3.0;
+  EXPECT_THROW(Gen2Mac(1, MacTimings{}, bad), std::invalid_argument);
+  Gen2Mac mac(2);
+  common::Rng rng(16);
+  std::vector<bool> wrong_size{true};
+  EXPECT_THROW(mac.step(wrong_size, kAlwaysDecode, rng),
+               std::invalid_argument);
+}
+
+TEST(Gen2Mac, SlotKindNames) {
+  EXPECT_STREQ(slot_kind_name(SlotKind::Query), "query");
+  EXPECT_STREQ(slot_kind_name(SlotKind::Success), "success");
+  EXPECT_STREQ(slot_kind_name(SlotKind::Idle), "idle");
+}
+
+}  // namespace
+}  // namespace tagbreathe::rfid

@@ -1,0 +1,198 @@
+// Unit tests: link budget and physical-layer measurement models.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "rfid/link_budget.hpp"
+#include "rfid/phase_model.hpp"
+
+namespace tagbreathe::rfid {
+namespace {
+
+constexpr double kFreq = 922.25e6;
+
+// --- link budget ---------------------------------------------------------
+
+TEST(LinkBudget, PathLossGrowsWithDistance) {
+  LinkBudget link{LinkBudgetConfig{}};
+  double prev = 0.0;
+  for (double d : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double pl = link.path_loss_db(d, kFreq);
+    EXPECT_GT(pl, prev);
+    prev = pl;
+  }
+  // Free-space-like reference: ~31.7 dB at 1 m for lambda ~0.325 m.
+  EXPECT_NEAR(link.path_loss_db(1.0, kFreq), 31.7, 0.5);
+}
+
+TEST(LinkBudget, PathLossExponentControlsSlope) {
+  LinkBudgetConfig cfg;
+  cfg.path_loss_exponent = 2.0;
+  LinkBudget free_space{cfg};
+  // Doubling distance adds 10*n*log10(2) ~ 6.02 dB for n = 2.
+  const double delta = free_space.path_loss_db(4.0, kFreq) -
+                       free_space.path_loss_db(2.0, kFreq);
+  EXPECT_NEAR(delta, 6.02, 0.05);
+}
+
+TEST(LinkBudget, ForwardLimitedRangeIsMetres) {
+  LinkBudget link{LinkBudgetConfig{}};
+  // Tag powered at the paper's working ranges, dead far beyond them.
+  EXPECT_TRUE(link.tag_powered(link.forward_power_dbm(4.0, kFreq, 0.0)));
+  EXPECT_TRUE(link.tag_powered(link.forward_power_dbm(6.0, kFreq, 0.0)));
+  EXPECT_FALSE(link.tag_powered(link.forward_power_dbm(30.0, kFreq, 0.0)));
+}
+
+TEST(LinkBudget, ReverseLinkRarelyBinds) {
+  // At every distance where the tag powers up, the reader can decode:
+  // passive UHF is forward-limited.
+  LinkBudget link{LinkBudgetConfig{}};
+  for (double d = 0.5; d < 12.0; d += 0.5) {
+    const double fwd = link.forward_power_dbm(d, kFreq, 0.0);
+    if (!link.tag_powered(fwd)) continue;
+    EXPECT_TRUE(link.reader_decodes(link.backscatter_rssi_dbm(d, kFreq, 0.0)))
+        << d;
+  }
+}
+
+TEST(LinkBudget, SuccessProbabilityIsLogisticInMargin) {
+  LinkBudget link{LinkBudgetConfig{}};
+  EXPECT_NEAR(link.read_success_probability(0.0, 50.0), 0.5, 1e-9);
+  EXPECT_GT(link.read_success_probability(6.0, 50.0), 0.97);
+  EXPECT_LT(link.read_success_probability(-6.0, 50.0), 0.03);
+  // The binding margin is the minimum of the two.
+  EXPECT_DOUBLE_EQ(link.read_success_probability(10.0, -3.0),
+                   link.read_success_probability(-3.0, 10.0));
+}
+
+TEST(LinkBudget, RssiQuantisedToHalfDb) {
+  LinkBudget link{LinkBudgetConfig{}};
+  EXPECT_DOUBLE_EQ(link.quantize_rssi(-57.26), -57.5);
+  EXPECT_DOUBLE_EQ(link.quantize_rssi(-57.24), -57.0);
+  LinkBudgetConfig raw;
+  raw.rssi_quantization_db = 0.0;
+  EXPECT_DOUBLE_EQ(LinkBudget{raw}.quantize_rssi(-57.26), -57.26);
+}
+
+TEST(LinkBudget, BodyAttenuationShape) {
+  // Flat through 30 deg, ramping to ~9 dB at 90 deg, opaque past 120 deg.
+  EXPECT_DOUBLE_EQ(LinkBudget::body_attenuation_db(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(
+      LinkBudget::body_attenuation_db(common::deg_to_rad(30.0)), 0.0);
+  const double at60 = LinkBudget::body_attenuation_db(common::deg_to_rad(60.0));
+  const double at90 = LinkBudget::body_attenuation_db(common::deg_to_rad(90.0));
+  EXPECT_GT(at60, 1.0);
+  EXPECT_LT(at60, at90);
+  EXPECT_NEAR(at90, 9.0, 0.5);
+  EXPECT_GE(LinkBudget::body_attenuation_db(common::deg_to_rad(150.0)), 30.0);
+  // Monotone non-decreasing over [0, 180].
+  double prev = -1.0;
+  for (double deg = 0.0; deg <= 180.0; deg += 5.0) {
+    const double a = LinkBudget::body_attenuation_db(common::deg_to_rad(deg));
+    EXPECT_GE(a, prev - 1e-9);
+    prev = a;
+  }
+}
+
+TEST(LinkBudget, WakeMarginWidensParticipation) {
+  LinkBudget link{LinkBudgetConfig{}};
+  const double sens = LinkBudgetConfig{}.tag_sensitivity_dbm;
+  EXPECT_TRUE(link.tag_participates(sens - 5.0));
+  EXPECT_FALSE(link.tag_participates(sens - 10.0));
+  EXPECT_TRUE(link.tag_powered(sens));
+  EXPECT_FALSE(link.tag_powered(sens - 1.0));
+}
+
+// --- phase model -----------------------------------------------------------
+
+TEST(PhaseModel, IdealPhaseFollowsEq1) {
+  PhaseModel model{PhaseModelConfig{}};
+  const double lambda = common::wavelength_m(kFreq);
+  // Moving the tag by lambda/2 leaves the phase unchanged (2d wraps a
+  // full 2*pi).
+  const double p0 = model.ideal_phase(2.0, lambda, 3, 42);
+  const double p1 = model.ideal_phase(2.0 + lambda / 2.0, lambda, 3, 42);
+  EXPECT_NEAR(p0, p1, 1e-9);
+  // Moving by lambda/8 advances the phase by pi/2 (mod 2*pi).
+  const double p2 = model.ideal_phase(2.0 + lambda / 8.0, lambda, 3, 42);
+  EXPECT_NEAR(common::wrap_phase_pi(p2 - p0), common::kPi / 2.0, 1e-9);
+}
+
+TEST(PhaseModel, OffsetsDifferByChannelAndTag) {
+  PhaseModel model{PhaseModelConfig{}};
+  EXPECT_NE(model.phase_offset(0, 1), model.phase_offset(1, 1));
+  EXPECT_NE(model.phase_offset(0, 1), model.phase_offset(0, 2));
+  EXPECT_DOUBLE_EQ(model.phase_offset(4, 9), model.phase_offset(4, 9));
+  // Different seeds change offsets.
+  PhaseModelConfig other;
+  other.offset_seed = 12345;
+  EXPECT_NE(model.phase_offset(0, 1),
+            PhaseModel{other}.phase_offset(0, 1));
+}
+
+TEST(PhaseModel, SigmaGrowsAsRssiFalls) {
+  PhaseModel model{PhaseModelConfig{}};
+  EXPECT_LT(model.phase_sigma(-40.0), model.phase_sigma(-70.0));
+  EXPECT_LT(model.phase_sigma(-70.0), model.phase_sigma(-85.0));
+  // High-SNR floor.
+  EXPECT_NEAR(model.phase_sigma(-20.0),
+              PhaseModelConfig{}.phase_sigma_floor_rad, 1e-3);
+}
+
+TEST(PhaseModel, MeasuredPhaseDistribution) {
+  PhaseModel model{PhaseModelConfig{}};
+  common::Rng rng(5);
+  const double lambda = common::wavelength_m(kFreq);
+  const double ideal = model.ideal_phase(3.0, lambda, 2, 7);
+  common::RunningStats err;
+  for (int i = 0; i < 5000; ++i) {
+    const double measured =
+        model.measure_phase(3.0, lambda, 2, 7, -55.0, rng);
+    EXPECT_GE(measured, 0.0);
+    EXPECT_LT(measured, common::kTwoPi + 1e-9);
+    err.add(common::wrap_phase_pi(measured - ideal));
+  }
+  EXPECT_NEAR(err.mean(), 0.0, 0.01);
+  EXPECT_NEAR(err.stddev(), model.phase_sigma(-55.0), 0.01);
+}
+
+TEST(PhaseModel, PhaseQuantisedTo12Bits) {
+  PhaseModel model{PhaseModelConfig{}};
+  common::Rng rng(6);
+  const double lambda = common::wavelength_m(kFreq);
+  const double quantum = PhaseModelConfig{}.phase_quantum_rad;
+  for (int i = 0; i < 100; ++i) {
+    const double p = model.measure_phase(2.0 + 0.01 * i, lambda, 1, 3,
+                                         -50.0, rng);
+    const double steps = p / quantum;
+    EXPECT_NEAR(steps, std::round(steps), 1e-6);
+  }
+}
+
+TEST(PhaseModel, DopplerSignConvention) {
+  PhaseModel model{PhaseModelConfig{}};
+  const double lambda = common::wavelength_m(kFreq);
+  // Approaching (negative radial velocity) -> positive Doppler.
+  EXPECT_GT(model.ideal_doppler(-0.1, lambda), 0.0);
+  EXPECT_LT(model.ideal_doppler(0.1, lambda), 0.0);
+  EXPECT_NEAR(model.ideal_doppler(-0.1, lambda), 2.0 * 0.1 / lambda, 1e-9);
+}
+
+TEST(PhaseModel, DopplerNoiseDominatesBreathingSpeeds) {
+  // The paper's point about Eq. 2: dividing the intra-packet rotation by
+  // 4*pi*dT amplifies noise far above breathing-scale Doppler.
+  PhaseModel model{PhaseModelConfig{}};
+  common::Rng rng(7);
+  const double lambda = common::wavelength_m(kFreq);
+  common::RunningStats reports;
+  const double v_breath = 0.008;  // m/s chest wall speed
+  for (int i = 0; i < 2000; ++i)
+    reports.add(model.measure_doppler(v_breath, lambda, rng));
+  const double true_doppler = model.ideal_doppler(v_breath, lambda);
+  EXPECT_GT(reports.stddev(), 10.0 * std::abs(true_doppler));
+  EXPECT_NEAR(reports.mean(), true_doppler, 0.2);
+}
+
+}  // namespace
+}  // namespace tagbreathe::rfid

@@ -1,0 +1,185 @@
+// Integration tests of the reader simulator: read rates, report sanity,
+// contention scaling, orientation blockage — the substrate behaviours the
+// paper's evaluation depends on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "body/breathing_model.hpp"
+#include "body/subject.hpp"
+#include "common/units.hpp"
+#include "rfid/reader.hpp"
+
+namespace tagbreathe {
+namespace {
+
+using body::BreathingModel;
+using body::BreathShape;
+using body::MetronomeSchedule;
+using body::Subject;
+using body::SubjectConfig;
+using body::TagSite;
+using rfid::Epc96;
+using rfid::ReaderConfig;
+using rfid::ReaderSim;
+
+std::unique_ptr<Subject> make_subject(double distance_m, double rate_bpm,
+                                      double orientation_deg = 0.0,
+                                      std::uint64_t user = 1) {
+  SubjectConfig cfg;
+  cfg.user_id = user;
+  cfg.position = {distance_m, 0.0, 0.0};
+  // Antenna sits at the origin: facing it means heading toward -x ... the
+  // antenna is at (0,0,1); the subject at (d,0,0) faces it with heading pi.
+  cfg.heading_rad = common::kPi + common::deg_to_rad(orientation_deg);
+  return std::make_unique<Subject>(
+      cfg, BreathingModel(MetronomeSchedule(rate_bpm), BreathShape{}));
+}
+
+std::vector<std::unique_ptr<rfid::TagBehavior>> tags_for(
+    const Subject& subject, int n_tags) {
+  std::vector<std::unique_ptr<rfid::TagBehavior>> tags;
+  const auto& sites = Subject::all_sites();
+  for (int i = 0; i < n_tags; ++i) {
+    tags.push_back(std::make_unique<rfid::BodyTag>(
+        Epc96::from_user_tag(subject.user_id(),
+                             static_cast<std::uint32_t>(i + 1)),
+        &subject, sites[static_cast<std::size_t>(i) % sites.size()]));
+  }
+  return tags;
+}
+
+TEST(ReaderSim, SingleTagRateNear64Hz) {
+  // Sec. IV-A: "The data sampling rate was around 64 Hz" (1 tag, 2 m).
+  auto subject = make_subject(2.0, 12.0);
+  ReaderSim sim(ReaderConfig{}, tags_for(*subject, 1));
+  const auto reads = sim.run(10.0);
+  const double rate = static_cast<double>(reads.size()) / 10.0;
+  EXPECT_GT(rate, 50.0);
+  EXPECT_LT(rate, 80.0);
+}
+
+TEST(ReaderSim, ReportsAreWellFormed) {
+  auto subject = make_subject(2.0, 12.0);
+  ReaderSim sim(ReaderConfig{}, tags_for(*subject, 3));
+  const auto reads = sim.run(5.0);
+  ASSERT_FALSE(reads.empty());
+  double last_t = -1.0;
+  for (const auto& r : reads) {
+    EXPECT_GE(r.time_s, last_t);
+    last_t = r.time_s;
+    EXPECT_GE(r.phase_rad, 0.0);
+    EXPECT_LT(r.phase_rad, common::kTwoPi + 1e-9);
+    EXPECT_LT(r.rssi_dbm, 0.0);
+    EXPECT_GT(r.rssi_dbm, -90.0);
+    EXPECT_LT(r.channel_index, 10);
+    EXPECT_EQ(r.epc.user_id(), 1u);
+    EXPECT_GE(r.epc.tag_id(), 1u);
+    EXPECT_LE(r.epc.tag_id(), 3u);
+    // RSSI is quantised to 0.5 dBm.
+    const double q = r.rssi_dbm / 0.5;
+    EXPECT_NEAR(q, std::round(q), 1e-9);
+  }
+}
+
+TEST(ReaderSim, ContentionLowersPerTagRate) {
+  // Fig. 14's mechanism: more contending tags -> lower per-tag rate, but
+  // total throughput stays roughly saturated.
+  auto subject = make_subject(2.0, 12.0);
+  auto tags = tags_for(*subject, 3);
+  for (int i = 0; i < 30; ++i) {
+    tags.push_back(std::make_unique<rfid::StaticTag>(
+        Epc96::from_user_tag(0xFFFF, static_cast<std::uint32_t>(i)),
+        common::Vec3{1.5 + 0.1 * i, 1.0, 0.8}));
+  }
+  ReaderSim sim(ReaderConfig{}, std::move(tags));
+  sim.run(10.0);
+  const auto& per_tag = sim.reads_per_tag();
+  // The three monitoring tags each got some reads, far below 64 Hz.
+  for (int i = 0; i < 3; ++i) {
+    const double rate = static_cast<double>(per_tag[static_cast<std::size_t>(i)]) / 10.0;
+    EXPECT_GT(rate, 0.8) << "monitor tag " << i;
+    EXPECT_LT(rate, 20.0) << "monitor tag " << i;
+  }
+  std::uint64_t total = 0;
+  for (auto c : per_tag) total += c;
+  EXPECT_GT(static_cast<double>(total) / 10.0, 40.0);
+}
+
+TEST(ReaderSim, OrientationCollapsesReadRate) {
+  // Fig. 15b: ~50 Hz facing, ~10 Hz at 90 deg, nothing past ~120 deg.
+  const double rate0 = [] {
+    auto s = make_subject(4.0, 10.0, 0.0);
+    ReaderSim sim(ReaderConfig{}, tags_for(*s, 1));
+    return static_cast<double>(sim.run(10.0).size()) / 10.0;
+  }();
+  const double rate90 = [] {
+    auto s = make_subject(4.0, 10.0, 90.0);
+    ReaderSim sim(ReaderConfig{}, tags_for(*s, 1));
+    return static_cast<double>(sim.run(10.0).size()) / 10.0;
+  }();
+  const double rate150 = [] {
+    auto s = make_subject(4.0, 10.0, 150.0);
+    ReaderSim sim(ReaderConfig{}, tags_for(*s, 1));
+    return static_cast<double>(sim.run(10.0).size()) / 10.0;
+  }();
+  EXPECT_GT(rate0, 40.0);
+  EXPECT_LT(rate90, rate0 * 0.5);
+  EXPECT_GT(rate90, 2.0);
+  EXPECT_LT(rate150, 0.5);
+}
+
+TEST(ReaderSim, RssiFallsWithDistance) {
+  double rssi_1m = 0.0, rssi_6m = 0.0;
+  {
+    auto s = make_subject(1.0, 10.0);
+    ReaderSim sim(ReaderConfig{}, tags_for(*s, 1));
+    const auto reads = sim.run(3.0);
+    ASSERT_FALSE(reads.empty());
+    for (const auto& r : reads) rssi_1m += r.rssi_dbm;
+    rssi_1m /= static_cast<double>(reads.size());
+  }
+  {
+    auto s = make_subject(6.0, 10.0);
+    ReaderSim sim(ReaderConfig{}, tags_for(*s, 1));
+    const auto reads = sim.run(3.0);
+    ASSERT_FALSE(reads.empty());
+    for (const auto& r : reads) rssi_6m += r.rssi_dbm;
+    rssi_6m /= static_cast<double>(reads.size());
+  }
+  EXPECT_LT(rssi_6m, rssi_1m - 15.0);
+}
+
+TEST(ReaderSim, MultiAntennaRoundRobinCoversUsers) {
+  // Two users back to back, each visible to one antenna only.
+  ReaderConfig cfg;
+  cfg.antennas = {rfid::Antenna{1, {0.0, 0.0, 1.0}, 8.5},
+                  rfid::Antenna{2, {8.0, 0.0, 1.0}, 8.5}};
+  auto u1 = make_subject(3.0, 10.0, 0.0, 1);   // faces antenna 1
+  // User 2 at x=5 facing +x (toward antenna 2 at x=8).
+  SubjectConfig c2;
+  c2.user_id = 2;
+  c2.position = {5.0, 0.0, 0.0};
+  c2.heading_rad = 0.0;
+  Subject u2(c2, BreathingModel(MetronomeSchedule(14.0), BreathShape{}));
+
+  std::vector<std::unique_ptr<rfid::TagBehavior>> tags;
+  tags.push_back(std::make_unique<rfid::BodyTag>(
+      Epc96::from_user_tag(1, 1), u1.get(), TagSite::Chest));
+  tags.push_back(std::make_unique<rfid::BodyTag>(
+      Epc96::from_user_tag(2, 1), &u2, TagSite::Chest));
+  ReaderSim sim(cfg, std::move(tags));
+  const auto reads = sim.run(10.0);
+
+  std::set<std::pair<std::uint64_t, std::uint8_t>> seen;
+  for (const auto& r : reads) seen.insert({r.epc.user_id(), r.antenna_id});
+  // Each user is read, and only via its facing antenna.
+  EXPECT_TRUE(seen.count({1, 1}));
+  EXPECT_TRUE(seen.count({2, 2}));
+  EXPECT_FALSE(seen.count({1, 2}));
+  EXPECT_FALSE(seen.count({2, 1}));
+}
+
+}  // namespace
+}  // namespace tagbreathe

@@ -1,0 +1,182 @@
+// Unit tests: interpolation/resampling, zero-crossing detection, peak
+// detection.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "signal/interpolate.hpp"
+#include "signal/peaks.hpp"
+#include "signal/zero_crossing.hpp"
+
+namespace tagbreathe::signal {
+namespace {
+
+using common::kTwoPi;
+
+// --- interpolation ----------------------------------------------------------
+
+TEST(Interpolate, LinearBetweenPoints) {
+  std::vector<TimedSample> s{{0.0, 0.0}, {1.0, 10.0}, {3.0, 30.0}};
+  EXPECT_DOUBLE_EQ(interp_linear(s, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(interp_linear(s, 2.0), 20.0);
+  EXPECT_DOUBLE_EQ(interp_linear(s, -1.0), 0.0);   // clamp left
+  EXPECT_DOUBLE_EQ(interp_linear(s, 99.0), 30.0);  // clamp right
+  EXPECT_THROW(interp_linear({}, 0.0), std::invalid_argument);
+}
+
+TEST(Resample, UniformGridCoversSpan) {
+  std::vector<TimedSample> s;
+  for (int i = 0; i <= 10; ++i)
+    s.push_back({0.3 * i, static_cast<double>(i)});
+  const auto u = resample_uniform(s, 10.0);
+  ASSERT_FALSE(u.empty());
+  EXPECT_DOUBLE_EQ(u.front().time_s, 0.0);
+  EXPECT_NEAR(u.back().time_s, 3.0, 0.101);
+  for (std::size_t i = 1; i < u.size(); ++i)
+    EXPECT_NEAR(u[i].time_s - u[i - 1].time_s, 0.1, 1e-12);
+}
+
+TEST(Resample, ReconstructsLinearSignalExactly) {
+  std::vector<TimedSample> s;
+  common::Rng rng(1);
+  double t = 0.0;
+  while (t < 10.0) {
+    s.push_back({t, 2.0 * t + 1.0});
+    t += rng.uniform(0.01, 0.2);
+  }
+  const auto u = resample_uniform(s, 20.0);
+  for (const auto& p : u) EXPECT_NEAR(p.value, 2.0 * p.time_s + 1.0, 1e-9);
+}
+
+TEST(Resample, HoldsAcrossLongGaps) {
+  std::vector<TimedSample> s{{0.0, 0.0}, {1.0, 1.0}, {5.0, 100.0}};
+  // With gap handling: values in (1, 5) hold at 1.0 instead of ramping.
+  const auto held = resample_uniform(s, 10.0, /*max_gap_s=*/2.0);
+  for (const auto& p : held) {
+    if (p.time_s > 1.05 && p.time_s < 4.95) {
+      EXPECT_DOUBLE_EQ(p.value, 1.0);
+    }
+  }
+  // Without gap handling the midpoint ramps.
+  const auto ramp = resample_uniform(s, 10.0, /*max_gap_s=*/0.0);
+  bool saw_ramp = false;
+  for (const auto& p : ramp)
+    if (p.time_s > 2.9 && p.time_s < 3.1 && p.value > 20.0) saw_ramp = true;
+  EXPECT_TRUE(saw_ramp);
+}
+
+TEST(Resample, ErrorsAndEmpty) {
+  std::vector<TimedSample> s{{0.0, 1.0}};
+  EXPECT_THROW(resample_uniform(s, 0.0), std::invalid_argument);
+  EXPECT_TRUE(resample_uniform({}, 10.0).empty());
+}
+
+TEST(SeriesHelpers, SplitAndRateAndSorted) {
+  std::vector<TimedSample> s{{0.0, 1.0}, {0.5, 2.0}, {1.0, 3.0}};
+  std::vector<double> t, v;
+  split_series(s, t, v);
+  EXPECT_EQ(t, (std::vector<double>{0.0, 0.5, 1.0}));
+  EXPECT_EQ(v, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_DOUBLE_EQ(mean_sample_rate(s), 2.0);
+  EXPECT_TRUE(is_time_sorted(s));
+  std::swap(s[0], s[2]);
+  EXPECT_FALSE(is_time_sorted(s));
+  EXPECT_EQ(mean_sample_rate(std::vector<TimedSample>{}), 0.0);
+}
+
+// --- zero crossings ------------------------------------------------------------
+
+TEST(ZeroCrossing, CountsSineCrossings) {
+  // 4 full cycles starting at zero: interior crossings at samples
+  // 50, 100, ..., 350 -> 7 (the initial zero and the wrap at 400 are not
+  // crossings of the sampled series).
+  std::vector<double> x(400);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(kTwoPi * 4.0 * static_cast<double>(i) / 400.0);
+  const auto crossings = detect_zero_crossings(x, 100.0);
+  EXPECT_EQ(crossings.size(), 7u);
+  // Directions alternate.
+  for (std::size_t i = 1; i < crossings.size(); ++i)
+    EXPECT_NE(crossings[i].direction, crossings[i - 1].direction);
+}
+
+TEST(ZeroCrossing, InterpolatedTimesAreAccurate) {
+  // sin(2*pi*0.5*t) crosses zero (falling) at t=1, rising at t=2...
+  std::vector<TimedSample> s;
+  for (int i = 0; i <= 400; ++i) {
+    const double t = i * 0.01;
+    s.push_back({t, std::sin(kTwoPi * 0.5 * t)});
+  }
+  const auto crossings = detect_zero_crossings(s);
+  ASSERT_GE(crossings.size(), 3u);
+  EXPECT_NEAR(crossings[0].time_s, 1.0, 0.005);
+  EXPECT_EQ(crossings[0].direction, CrossingDirection::Falling);
+  EXPECT_NEAR(crossings[1].time_s, 2.0, 0.005);
+  EXPECT_EQ(crossings[1].direction, CrossingDirection::Rising);
+}
+
+TEST(ZeroCrossing, HysteresisRejectsChatter) {
+  // Small noise oscillation around zero plus one genuine crossing pair.
+  std::vector<double> x;
+  for (int i = 0; i < 50; ++i) x.push_back((i % 2) ? 0.05 : -0.05);
+  for (int i = 0; i < 50; ++i) x.push_back(1.0);
+  for (int i = 0; i < 50; ++i) x.push_back(-1.0);
+  const auto noisy = detect_zero_crossings(x, 10.0, 0.0, /*hysteresis=*/0.0);
+  const auto clean = detect_zero_crossings(x, 10.0, 0.0, /*hysteresis=*/0.3);
+  EXPECT_GT(noisy.size(), 10u);
+  EXPECT_EQ(clean.size(), 1u);  // only the genuine 1.0 -> -1.0 crossing
+}
+
+TEST(ZeroCrossing, HysteresisFromPeak) {
+  std::vector<double> x{-0.5, 2.0, -1.0};
+  EXPECT_DOUBLE_EQ(hysteresis_from_peak(x, 0.25), 0.5);
+  EXPECT_DOUBLE_EQ(hysteresis_from_peak({}, 0.25), 0.0);
+}
+
+TEST(ZeroCrossing, EmptyAndShortInputs) {
+  EXPECT_TRUE(detect_zero_crossings(std::vector<double>{}, 10.0).empty());
+  EXPECT_TRUE(detect_zero_crossings(std::vector<double>{1.0}, 10.0).empty());
+}
+
+// --- peaks -----------------------------------------------------------------------
+
+TEST(Peaks, FindsLocalMaxima) {
+  std::vector<double> x{0.0, 1.0, 0.0, 2.0, 0.0, 3.0, 0.0};
+  const auto peaks = find_peaks(x);
+  ASSERT_EQ(peaks.size(), 3u);
+  EXPECT_EQ(peaks[0].index, 1u);
+  EXPECT_EQ(peaks[1].index, 3u);
+  EXPECT_EQ(peaks[2].index, 5u);
+  EXPECT_DOUBLE_EQ(peaks[2].value, 3.0);
+}
+
+TEST(Peaks, MinDistanceKeepsTallest) {
+  std::vector<double> x{0.0, 1.0, 0.5, 2.0, 0.0};
+  const auto peaks = find_peaks(x, /*min_distance=*/3);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 3u);
+}
+
+TEST(Peaks, ProminenceFiltersShoulders) {
+  // A small bump riding on the flank of a big peak has low prominence.
+  std::vector<double> x{0.0, 5.0, 4.0, 4.2, 0.5, 0.0};
+  const auto all = find_peaks(x, 1, 0.0);
+  const auto prominent = find_peaks(x, 1, 1.0);
+  EXPECT_EQ(all.size(), 2u);
+  ASSERT_EQ(prominent.size(), 1u);
+  EXPECT_EQ(prominent[0].index, 1u);
+}
+
+TEST(Peaks, FlatTopCountsOnce) {
+  std::vector<double> x{0.0, 1.0, 1.0, 1.0, 0.0};
+  const auto peaks = find_peaks(x);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 2u);  // plateau centre
+}
+
+TEST(Peaks, ShortInput) {
+  EXPECT_TRUE(find_peaks(std::vector<double>{1.0, 2.0}).empty());
+}
+
+}  // namespace
+}  // namespace tagbreathe::signal

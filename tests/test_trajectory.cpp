@@ -1,0 +1,111 @@
+// Unit + integration tests: spectrogram (STFT) and rate trajectories.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "core/trajectory.hpp"
+#include "experiments/scenario.hpp"
+#include "signal/spectrum.hpp"
+
+namespace tagbreathe {
+namespace {
+
+// --- STFT -------------------------------------------------------------------
+
+TEST(Stft, ShapesAndTimes) {
+  std::vector<double> x(1000, 0.0);
+  const auto spec = signal::stft(x, 20.0, 256, 128);
+  ASSERT_FALSE(spec.frames.empty());
+  EXPECT_EQ(spec.frames.size(), spec.frame_times_s.size());
+  EXPECT_EQ(spec.frames[0].size(), spec.bin_frequencies_hz.size());
+  EXPECT_EQ(spec.frames[0].size(), 129u);  // 256/2 + 1
+  // Frame centres advance by hop / fs = 6.4 s.
+  EXPECT_NEAR(spec.frame_times_s[1] - spec.frame_times_s[0], 6.4, 1e-9);
+  EXPECT_NEAR(spec.frame_times_s[0], 6.4, 1e-9);  // segment/2 / fs
+}
+
+TEST(Stft, TracksFrequencyChange) {
+  // 2 Hz tone for the first half, 5 Hz for the second.
+  constexpr double fs = 40.0;
+  std::vector<double> x;
+  for (double t = 0.0; t < 30.0; t += 1.0 / fs)
+    x.push_back(std::sin(common::kTwoPi * (t < 15.0 ? 2.0 : 5.0) * t));
+  const auto spec = signal::stft(x, fs, 256, 64);
+  ASSERT_GT(spec.frames.size(), 10u);
+
+  auto peak_freq = [&spec](std::size_t frame) {
+    std::size_t best = 1;
+    for (std::size_t k = 1; k < spec.frames[frame].size(); ++k)
+      if (spec.frames[frame][k] > spec.frames[frame][best]) best = k;
+    return spec.bin_frequencies_hz[best];
+  };
+  // An early frame sees 2 Hz; a late frame sees 5 Hz.
+  EXPECT_NEAR(peak_freq(1), 2.0, 0.3);
+  EXPECT_NEAR(peak_freq(spec.frames.size() - 2), 5.0, 0.3);
+}
+
+TEST(Stft, Validation) {
+  std::vector<double> x(100, 0.0);
+  EXPECT_THROW(signal::stft(x, 20.0, 4, 2), std::invalid_argument);
+  EXPECT_THROW(signal::stft(x, 20.0, 64, 0), std::invalid_argument);
+  EXPECT_THROW(signal::stft(x, 20.0, 64, 128), std::invalid_argument);
+  EXPECT_TRUE(signal::stft(std::vector<double>(10), 20.0, 64, 32)
+                  .frames.empty());
+}
+
+// --- rate trajectory -----------------------------------------------------------
+
+TEST(Trajectory, FollowsScheduledRateChange) {
+  experiments::ScenarioConfig cfg;
+  cfg.duration_s = 180.0;
+  cfg.seed = 81;
+  cfg.users[0].schedule = {{0.0, 9.0}, {90.0, 16.0}};
+  experiments::Scenario scenario(cfg);
+  const auto reads = scenario.run();
+
+  const auto trajectories = core::compute_rate_trajectories(reads);
+  ASSERT_EQ(trajectories.size(), 1u);
+  const auto& traj = trajectories[0];
+  EXPECT_EQ(traj.user_id, 1u);
+  ASSERT_GT(traj.points.size(), 20u);
+
+  // Early windows track 9 bpm, late windows 16 bpm.
+  EXPECT_NEAR(traj.rate_at(30.0), 9.0, 1.2);
+  EXPECT_NEAR(traj.rate_at(160.0), 16.0, 1.5);
+  // The transition is crossed monotonically-ish in between.
+  EXPECT_GT(traj.rate_at(120.0), traj.rate_at(40.0));
+}
+
+TEST(Trajectory, ShortCaptureFallsBackToSingleWindow) {
+  experiments::ScenarioConfig cfg;
+  cfg.duration_s = 20.0;  // shorter than the 30 s window
+  cfg.seed = 82;
+  experiments::Scenario scenario(cfg);
+  const auto reads = scenario.run();
+  const auto trajectories = core::compute_rate_trajectories(reads);
+  ASSERT_EQ(trajectories.size(), 1u);
+  EXPECT_EQ(trajectories[0].points.size(), 1u);
+  EXPECT_NEAR(trajectories[0].points[0].rate_bpm, 10.0, 1.5);
+}
+
+TEST(Trajectory, EmptyAndValidation) {
+  EXPECT_TRUE(core::compute_rate_trajectories({}).empty());
+  core::TrajectoryConfig bad;
+  bad.hop_s = 0.0;
+  std::vector<core::TagRead> one(1);
+  EXPECT_THROW(core::compute_rate_trajectories(one, bad),
+               std::invalid_argument);
+}
+
+TEST(Trajectory, RateAtInterpolatesAndClamps) {
+  core::RateTrajectory traj;
+  traj.points = {{10.0, 10.0, true}, {20.0, 14.0, true},
+                 {30.0, 0.0, false}};  // unreliable point ignored
+  EXPECT_DOUBLE_EQ(traj.rate_at(5.0), 10.0);    // clamp left
+  EXPECT_DOUBLE_EQ(traj.rate_at(15.0), 12.0);   // interpolated
+  EXPECT_DOUBLE_EQ(traj.rate_at(25.0), 14.0);   // clamp right of reliable
+  core::RateTrajectory empty;
+  EXPECT_DOUBLE_EQ(empty.rate_at(1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace tagbreathe
