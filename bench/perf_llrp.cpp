@@ -1,9 +1,13 @@
 // google-benchmark: llrp-lite wire codec throughput — the per-read cost
-// of the SDK boundary (encode on the reader, frame + decode on the host).
+// of the SDK boundary (encode on the reader, frame + decode on the host),
+// plus the fault path: what corruption injection and framer resync cost
+// when the robustness machinery is actually exercised.
 #include <benchmark/benchmark.h>
 
+#include "llrp/fault_channel.hpp"
 #include "llrp/message.hpp"
 #include "llrp/params.hpp"
+#include "llrp/transport.hpp"
 
 using namespace tagbreathe;
 
@@ -63,6 +67,66 @@ void BM_FramerRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FramerRoundTrip);
+
+// Fault-injection overhead: a report-sized frame pushed through the
+// FaultyChannel under a corruption-heavy plan. This is the per-byte tax
+// every transported byte pays when fault injection is armed (the
+// quiet-plan fast path short-circuits to the inner channel).
+void BM_FaultyChannelWrite(benchmark::State& state) {
+  llrp::Message m;
+  m.type = llrp::MessageType::RoAccessReport;
+  m.body = llrp::encode_tag_reports(batch(64));
+  const auto wire = llrp::encode_message(m);
+
+  llrp::DuplexChannel inner;
+  llrp::FaultPlan plan;
+  plan.seed = 99;
+  plan.byte_drop_prob = 0.001;
+  plan.bit_flip_prob = 0.01;
+  plan.latency_burst_prob = 0.02;
+  plan.latency_s = 0.1;
+  llrp::FaultyChannel channel(inner, plan);
+  double now = 0.0;
+  for (auto _ : state) {
+    channel.write(llrp::Side::Client, wire);
+    now += 0.05;
+    channel.advance_to(now);  // release latency holds
+    auto out = inner.read(llrp::Side::Reader);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["bytes/s"] = benchmark::Counter(
+      static_cast<double>(wire.size()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FaultyChannelWrite);
+
+// Resync throughput: a multi-frame stream with every other header
+// corrupted. The framer must skip to the next plausible header each
+// time — the worst-case steady state of a noisy wire, and the path a
+// hostile stream drives hardest.
+void BM_FramerResyncCorrupted(benchmark::State& state) {
+  llrp::Message m;
+  m.type = llrp::MessageType::RoAccessReport;
+  m.body = llrp::encode_tag_reports(batch(8));
+  const auto frame = llrp::encode_message(m);
+
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 32; ++i) {
+    const std::size_t at = stream.size();
+    stream.insert(stream.end(), frame.begin(), frame.end());
+    if (i % 2 == 0) stream[at] ^= 0xFF;  // wreck the version/type byte
+  }
+  for (auto _ : state) {
+    llrp::MessageFramer framer;
+    framer.feed(stream);
+    llrp::Message out;
+    std::size_t decoded = 0;
+    while (framer.next(out)) ++decoded;
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.counters["bytes/s"] = benchmark::Counter(
+      static_cast<double>(stream.size()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FramerResyncCorrupted);
 
 }  // namespace
 

@@ -90,11 +90,23 @@ FusedTrack fuse_streams(
     }
   }
 
-  // Eq. 7: integrate the binned sums into the fused track.
+  // Eq. 7: integrate the binned sums into the fused track. With the
+  // gap guard on, a non-empty bin that follows a dropout contributes
+  // nothing (see FusionConfig::reset_gap_s).
+  const std::size_t gap_bins =
+      config.reset_gap_s > 0.0
+          ? static_cast<std::size_t>(config.reset_gap_s / config.bin_s)
+          : 0;
   out.track.reserve(bins);
   double acc = 0.0;
+  std::size_t empty_run = 0;
   for (std::size_t b = 0; b < bins; ++b) {
-    acc += sums[b];
+    if (out.bin_counts[b] == 0) {
+      ++empty_run;
+    } else {
+      if (gap_bins == 0 || empty_run <= gap_bins) acc += sums[b];
+      empty_run = 0;
+    }
     out.track.push_back(signal::TimedSample{
         t0 + (static_cast<double>(b) + 1.0) * config.bin_s, acc});
   }

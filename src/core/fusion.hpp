@@ -32,6 +32,14 @@ struct FusionConfig {
   /// orientation angles, where per-site wall-normal tilts give different
   /// streams opposite radial signs.
   bool align_signs = true;
+  /// Gap-aware Eq. 7: after a run of empty bins longer than this, the
+  /// first non-empty bin's sum is discarded instead of integrated — a
+  /// delta landing right after a dropout encodes net drift across the
+  /// outage, not breathing, and integrating it steps the whole post-gap
+  /// track by a bogus offset that the extraction filter rings on.
+  /// <= 0 disables the guard. Clean streams bin at tens of Hz, so only
+  /// genuine dropouts trigger it.
+  double reset_gap_s = 0.75;
 };
 
 /// Result of fusing n delta streams.

@@ -28,4 +28,34 @@ double mean_accuracy(std::span<const double> estimated_bpm,
   return s / static_cast<double>(estimated_bpm.size());
 }
 
+double mean_accuracy_masked(std::span<const double> estimated_bpm,
+                            std::span<const double> true_bpm,
+                            std::span<const std::uint8_t> include) {
+  if (estimated_bpm.size() != true_bpm.size() ||
+      estimated_bpm.size() != include.size())
+    throw std::invalid_argument("mean_accuracy_masked: size mismatch");
+  double s = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < estimated_bpm.size(); ++i) {
+    if (!include[i]) continue;
+    s += breathing_rate_accuracy(estimated_bpm[i], true_bpm[i]);
+    ++n;
+  }
+  return n == 0 ? 0.0 : s / static_cast<double>(n);
+}
+
+double max_rate_error_masked(std::span<const double> estimated_bpm,
+                             std::span<const double> true_bpm,
+                             std::span<const std::uint8_t> include) {
+  if (estimated_bpm.size() != true_bpm.size() ||
+      estimated_bpm.size() != include.size())
+    throw std::invalid_argument("max_rate_error_masked: size mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < estimated_bpm.size(); ++i) {
+    if (!include[i]) continue;
+    worst = std::max(worst, rate_error_bpm(estimated_bpm[i], true_bpm[i]));
+  }
+  return worst;
+}
+
 }  // namespace tagbreathe::core

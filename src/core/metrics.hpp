@@ -1,6 +1,7 @@
 // Evaluation metrics (Sec. VI-B, Eq. 8).
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 namespace tagbreathe::core {
@@ -15,5 +16,19 @@ double rate_error_bpm(double estimated_bpm, double true_bpm) noexcept;
 /// Mean Eq. 8 accuracy over paired estimates/truths.
 double mean_accuracy(std::span<const double> estimated_bpm,
                      std::span<const double> true_bpm);
+
+/// Mean Eq. 8 accuracy over the pairs whose mask entry is non-zero.
+/// Degradation analyses compare a faulty run to a fault-free run on the
+/// non-gap windows only (mask = SignalHealth::Ok), since gap windows
+/// are flagged rather than scored. Returns 0 when nothing is included.
+double mean_accuracy_masked(std::span<const double> estimated_bpm,
+                            std::span<const double> true_bpm,
+                            std::span<const std::uint8_t> include);
+
+/// Largest |estimate − truth| [bpm] over the included pairs (0 when
+/// nothing is included).
+double max_rate_error_masked(std::span<const double> estimated_bpm,
+                             std::span<const double> true_bpm,
+                             std::span<const std::uint8_t> include);
 
 }  // namespace tagbreathe::core

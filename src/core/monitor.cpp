@@ -37,6 +37,43 @@ UserAnalysis BreathMonitor::analyze_user(const StreamDemux& demux,
   const auto all_streams = demux.streams_for_user(user_id);
   if (all_streams.empty()) return out;
 
+  // Signal health: judged over every stream the user has, so a working
+  // set that went quiet is not mistaken for a healthy signal.
+  {
+    std::vector<double> times;
+    for (const auto* stream : all_streams)
+      for (const TagRead& r : *stream)
+        if (r.time_s >= t0 && r.time_s <= t1) times.push_back(r.time_s);
+    std::sort(times.begin(), times.end());
+    if (!times.empty()) {
+      out.last_read_s = times.back();
+      out.tail_gap_s = t1 - times.back();
+      const double lead_gap = times.front() - t0;
+      out.max_gap_s = std::max(lead_gap, out.tail_gap_s);
+      double gap_time = lead_gap > config_.stale_after_s ? lead_gap : 0.0;
+      for (std::size_t i = 1; i < times.size(); ++i) {
+        const double gap = times[i] - times[i - 1];
+        out.max_gap_s = std::max(out.max_gap_s, gap);
+        if (gap > config_.stale_after_s) gap_time += gap;
+      }
+      if (out.tail_gap_s > config_.stale_after_s)
+        gap_time += out.tail_gap_s;
+      out.coverage = out.window_s > 0.0
+                         ? std::clamp(1.0 - gap_time / out.window_s, 0.0, 1.0)
+                         : 1.0;
+      const bool gap_too_wide = config_.max_gap_for_ok_s > 0.0 &&
+                                out.max_gap_s >= config_.max_gap_for_ok_s;
+      if (out.tail_gap_s >= config_.lost_after_s) {
+        out.health = SignalHealth::Lost;
+      } else if (out.tail_gap_s >= config_.stale_after_s ||
+                 out.coverage < config_.min_coverage || gap_too_wide) {
+        out.health = SignalHealth::Stale;
+      } else {
+        out.health = SignalHealth::Ok;
+      }
+    }
+  }
+
   out.antenna_scores = score_antennas(all_streams, out.window_s,
                                       config_.antenna);
 

@@ -36,6 +36,21 @@ struct MonitorConfig {
   /// Extract from the best-quality antenna only (the paper's design).
   /// false = fuse streams across all antennas (ablation).
   bool select_antenna = true;
+  /// Signal-health thresholds: a read-silent tail of the window longer
+  /// than stale_after_s marks the user Stale, longer than lost_after_s
+  /// marks them Lost. Internal gaps above stale_after_s also count
+  /// against coverage.
+  double stale_after_s = 1.5;
+  double lost_after_s = 5.0;
+  /// Window coverage (gap-free fraction) below this is Stale even with
+  /// a fresh tail: too much of the window is interpolation.
+  double min_coverage = 0.6;
+  /// A single read-free gap longer than this marks the window Stale even
+  /// when coverage and tail freshness pass. The fused track holds flat
+  /// through a gap, so one multi-second hole biases the zero-crossing
+  /// periods of the whole window while costing little coverage (a 4 s
+  /// hole in a 30 s window keeps coverage at 0.87). <= 0 disables.
+  double max_gap_for_ok_s = 3.0;
 };
 
 /// Everything TagBreathe derives for one user from one window.
@@ -46,6 +61,18 @@ struct UserAnalysis {
   std::size_t reads_used = 0;
   std::size_t streams_used = 0;
   double window_s = 0.0;
+
+  /// Signal condition over this window (all of the user's streams, not
+  /// just the working set): is the estimate backed by fresh data?
+  SignalHealth health = SignalHealth::Lost;
+  /// Newest read of any of the user's tags in the window (-1 = none).
+  double last_read_s = -1.0;
+  /// Window tail with no reads at all.
+  double tail_gap_s = 0.0;
+  /// Largest read-free gap inside the window.
+  double max_gap_s = 0.0;
+  /// Fraction of the window not swallowed by gaps above stale_after_s.
+  double coverage = 0.0;
 
   /// Fused displacement track ΔD(t) (Eq. 7) on the Δt grid.
   std::vector<signal::TimedSample> fused_track;

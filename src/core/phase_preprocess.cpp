@@ -81,6 +81,12 @@ bool PhasePreprocessor::push(const TagRead& read,
     ++stats_.dropped_outlier;
     return false;
   }
+  if (config_.spike_floor_m > 0.0 &&
+      std::abs(delta_d) >
+          config_.spike_floor_m + config_.spike_speed_mps * dt) {
+    ++stats_.dropped_spike;
+    return false;
+  }
 
   delta_out = signal::TimedSample{read.time_s, delta_d};
   ++stats_.deltas_out;
@@ -111,12 +117,23 @@ void PhasePreprocessor::reset() noexcept {
 
 std::vector<signal::TimedSample> integrate_displacement(
     std::span<const signal::TimedSample> deltas) {
+  return integrate_displacement(deltas, 0.0);
+}
+
+std::vector<signal::TimedSample> integrate_displacement(
+    std::span<const signal::TimedSample> deltas, double reset_gap_s) {
   std::vector<signal::TimedSample> track;
   track.reserve(deltas.size());
   double acc = 0.0;
+  bool has_prev = false;
+  double prev_t = 0.0;
   for (const signal::TimedSample& d : deltas) {
-    acc += d.value;
+    const bool spans_gap = reset_gap_s > 0.0 && has_prev &&
+                           d.time_s - prev_t > reset_gap_s;
+    if (!spans_gap) acc += d.value;  // gap-spanning motion is discarded
     track.push_back(signal::TimedSample{d.time_s, acc});
+    prev_t = d.time_s;
+    has_prev = true;
   }
   return track;
 }

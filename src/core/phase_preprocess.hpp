@@ -59,6 +59,16 @@ struct PreprocessConfig {
   /// wall speed is < 0.05 m/s; 0.5 m/s tolerates posture shifts while
   /// killing phase outliers.
   double max_speed_mps = 0.5;
+  /// Despike gate: reject deltas with |Δd| > spike_floor_m +
+  /// spike_speed_mps * dt. Chest-wall peak velocity is A·2πf — under
+  /// 0.05 m/s even for deep fast breathing — so a legitimate pair can
+  /// only move speed*dt plus phase-noise jitter (the floor). A phase
+  /// word corrupted in transit (bit flip above the low bits) jumps the
+  /// apparent displacement 0.5-8 cm in one step, which sails under the
+  /// coarse max_speed_mps gate whenever dt is not tiny but cannot pass
+  /// this physical budget. spike_floor_m <= 0 disables.
+  double spike_floor_m = 0.003;
+  double spike_speed_mps = 0.015;
 };
 
 struct PreprocessStats {
@@ -66,6 +76,7 @@ struct PreprocessStats {
   std::size_t deltas_out = 0;
   std::size_t dropped_gap = 0;
   std::size_t dropped_outlier = 0;
+  std::size_t dropped_spike = 0;
   std::size_t first_in_channel = 0;
 };
 
@@ -112,5 +123,14 @@ class PhasePreprocessor {
 /// Eq. 4: integrates deltas into a displacement track anchored at 0.
 std::vector<signal::TimedSample> integrate_displacement(
     std::span<const signal::TimedSample> deltas);
+
+/// Gap-aware Eq. 4: a delta separated from its predecessor by more than
+/// `reset_gap_s` spans a dropout — the motion it encodes is the net
+/// drift across the outage, not breathing — so its value is discarded
+/// and the track continues flat from the held displacement instead of
+/// integrating a bogus step (which the band-pass filter would ring on
+/// for seconds). reset_gap_s <= 0 disables the guard (plain Eq. 4).
+std::vector<signal::TimedSample> integrate_displacement(
+    std::span<const signal::TimedSample> deltas, double reset_gap_s);
 
 }  // namespace tagbreathe::core

@@ -24,6 +24,11 @@ void RealtimePipeline::emit(const PipelineEvent& event) {
   if (callback_) callback_(event);
 }
 
+SignalHealth RealtimePipeline::health(std::uint64_t user_id) const noexcept {
+  const auto it = user_state_.find(user_id);
+  return it == user_state_.end() ? SignalHealth::Lost : it->second.health;
+}
+
 void RealtimePipeline::push(const TagRead& read) {
   if (!started_) {
     started_ = true;
@@ -62,16 +67,24 @@ void RealtimePipeline::update(double time_s) {
                           time_s - state.last_read_s > config_.signal_loss_s;
     if (lost_now && !state.lost) {
       state.lost = true;
+      state.health = SignalHealth::Lost;
       emit(PipelineEvent{PipelineEventKind::SignalLost, user, time_s, 0.0,
-                         false});
+                         false, SignalHealth::Lost});
     } else if (!lost_now && state.lost) {
       state.lost = false;
       emit(PipelineEvent{PipelineEventKind::SignalRecovered, user, time_s,
-                         0.0, false});
+                         0.0, false, state.health});
     }
-    if (lost_now) continue;
+    if (lost_now) {
+      // Keep the surfaced analysis honest while the user is dark: the
+      // stale estimate stays visible but flagged Lost.
+      const auto it = latest_.find(user);
+      if (it != latest_.end()) it->second.health = SignalHealth::Lost;
+      continue;
+    }
 
     UserAnalysis analysis = monitor_.analyze_user(demux_, user, t0, time_s);
+    state.health = analysis.health;
     if (!analysis.rate.crossings.empty())
       state.last_crossing_s = analysis.rate.crossings.back().time_s;
 
@@ -102,7 +115,7 @@ void RealtimePipeline::update(double time_s) {
     if (apnea_now && !state.in_apnea) {
       state.in_apnea = true;
       emit(PipelineEvent{PipelineEventKind::ApneaAlert, user, time_s, 0.0,
-                         false});
+                         false, analysis.health});
     } else if (!apnea_now && state.in_apnea) {
       state.in_apnea = false;
     }
@@ -112,7 +125,9 @@ void RealtimePipeline::update(double time_s) {
                               ? analysis.rate.rate_bpm
                               : analysis.rate.instantaneous.back().rate_bpm;
       emit(PipelineEvent{PipelineEventKind::RateUpdate, user, time_s, rate,
-                         analysis.rate.reliable});
+                         analysis.rate.reliable &&
+                             analysis.health == SignalHealth::Ok,
+                         analysis.health});
     }
     latest_[user] = std::move(analysis);
   }

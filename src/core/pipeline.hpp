@@ -51,6 +51,9 @@ struct PipelineEvent {
   double rate_bpm = 0.0;
   /// Whether the estimator flagged the rate reliable.
   bool reliable = false;
+  /// Signal condition at emission time: a RateUpdate carrying Stale is
+  /// coasting on a gappy window and should be rendered accordingly.
+  SignalHealth health = SignalHealth::Ok;
 };
 
 class RealtimePipeline {
@@ -74,6 +77,9 @@ class RealtimePipeline {
     return latest_;
   }
 
+  /// Current signal condition of a user (Lost for unknown users).
+  SignalHealth health(std::uint64_t user_id) const noexcept;
+
   double now_s() const noexcept { return now_; }
 
  private:
@@ -96,6 +102,7 @@ class RealtimePipeline {
     bool in_apnea = false;
     bool lost = false;
     bool ever_reliable = false;
+    SignalHealth health = SignalHealth::Lost;
   };
   std::map<std::uint64_t, UserState> user_state_;
   std::map<std::uint64_t, UserAnalysis> latest_;

@@ -1,5 +1,6 @@
 #include "core/rate_estimator.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -71,9 +72,16 @@ RateEstimate ZeroCrossingRateEstimator::estimate(
       out.rate_bpm = common::hz_to_bpm(rate_hz);
     }
   }
+  bool consistent = true;
+  if (config_.max_period_dispersion > 0.0 && periods.size() >= 3) {
+    const auto [lo, hi] = std::minmax_element(periods.begin(), periods.end());
+    const double med = common::median(periods);
+    consistent =
+        med > 0.0 && (*hi - *lo) <= config_.max_period_dispersion * med;
+  }
   out.reliable = out.crossings.size() >= m &&
                  out.rate_bpm >= config_.min_rate_bpm &&
-                 out.rate_bpm <= config_.max_rate_bpm;
+                 out.rate_bpm <= config_.max_rate_bpm && consistent;
   return out;
 }
 

@@ -30,6 +30,17 @@ struct RateEstimatorConfig {
   /// Rates outside [min, max] bpm are reported as unreliable.
   double min_rate_bpm = 3.0;
   double max_rate_bpm = 45.0;
+  /// Period-consistency gate on `reliable`: with >= 3 full periods in
+  /// the window, require (max - min) <= this fraction of the median
+  /// period. Genuine breathing is near-periodic — a steady metronome
+  /// spreads ~0.05, natural variability ~0.3 — while noise-injected or
+  /// missed crossings mix half-length and double-length periods into
+  /// the same window (spread >= ~0.7), so the window still reports a
+  /// rate but refuses to vouch for it. A spread measure is used rather
+  /// than MAD because the degenerate 3-period windows where bogus
+  /// crossings hide always put a zero in the deviation list, which
+  /// makes the median deviation blind to them. <= 0 disables.
+  double max_period_dispersion = 0.6;
 };
 
 /// One instantaneous rate sample (at a zero-crossing instant).

@@ -15,6 +15,22 @@
 
 namespace tagbreathe::core {
 
+/// Per-user signal condition surfaced by the analysis layers: Ok means
+/// fresh reads back the estimate; Stale means the stream has gaps or a
+/// silent tail and the estimate is coasting; Lost means the user's tags
+/// have not been read for long enough that no estimate should be
+/// trusted (blocked line of sight, out of range, reader fault).
+enum class SignalHealth : std::uint8_t { Ok = 0, Stale = 1, Lost = 2 };
+
+constexpr const char* signal_health_name(SignalHealth health) noexcept {
+  switch (health) {
+    case SignalHealth::Ok: return "ok";
+    case SignalHealth::Stale: return "stale";
+    case SignalHealth::Lost: return "lost";
+  }
+  return "?";
+}
+
 struct TagRead {
   double time_s = 0.0;          // reader timestamp of the read
   rfid::Epc96 epc;              // reported EPC (user/tag IDs per Fig. 9)

@@ -2,8 +2,16 @@
 
 namespace tagbreathe::llrp {
 
-LlrpClient::LlrpClient(ClientConfig config, DuplexChannel& channel)
+LlrpClient::LlrpClient(ClientConfig config, ByteChannel& channel)
     : config_(std::move(config)), channel_(channel) {}
+
+void LlrpClient::reset_session_state() {
+  framer_.reset();
+  add_status_ = StatusCode::NoResponse;
+  enable_status_ = StatusCode::NoResponse;
+  start_status_ = StatusCode::NoResponse;
+  stop_status_ = StatusCode::NoResponse;
+}
 
 std::uint32_t LlrpClient::send(MessageType type,
                                std::vector<std::uint8_t> body) {
@@ -100,6 +108,12 @@ std::uint32_t LlrpClient::send_stop_rospec() {
   return send(MessageType::StopRoSpec, w.take());
 }
 
+std::uint32_t LlrpClient::send_delete_rospec() {
+  ByteWriter w;
+  w.u32(config_.rospec_id);
+  return send(MessageType::DeleteRoSpec, w.take());
+}
+
 std::uint32_t LlrpClient::send_keepalive() {
   return send(MessageType::KeepAlive, {});
 }
@@ -108,51 +122,76 @@ std::uint32_t LlrpClient::send_get_capabilities() {
   return send(MessageType::GetReaderCapabilities, {});
 }
 
+void LlrpClient::handle(const Message& m) {
+  switch (m.type) {
+    case MessageType::RoAccessReport: {
+      ++reports_;
+      std::size_t dropped = 0;
+      const auto entries = decode_tag_reports_salvage(m.body, dropped);
+      reads_dropped_ += dropped;
+      for (const TagReportEntry& e : entries) {
+        core::TagRead read;
+        try {
+          read = from_wire(e, config_.plan);
+        } catch (const std::exception&) {
+          // Entry decoded but a field fails validation (e.g. corrupted
+          // channel index) — drop this read, keep its batch-mates.
+          ++reads_dropped_;
+          continue;
+        }
+        ++reads_;
+        if (on_read_) on_read_(read);
+      }
+      break;
+    }
+    case MessageType::AddRoSpecResponse:
+    case MessageType::EnableRoSpecResponse:
+    case MessageType::StartRoSpecResponse:
+    case MessageType::StopRoSpecResponse: {
+      ByteReader r(m.body);
+      const auto params = decode_params(r);
+      const StatusCode code = parse_status(params);
+      if (m.type == MessageType::AddRoSpecResponse) add_status_ = code;
+      if (m.type == MessageType::EnableRoSpecResponse)
+        enable_status_ = code;
+      if (m.type == MessageType::StartRoSpecResponse) start_status_ = code;
+      if (m.type == MessageType::StopRoSpecResponse) stop_status_ = code;
+      break;
+    }
+    case MessageType::GetReaderCapabilitiesResponse: {
+      capabilities_ = decode_capabilities(m.body);
+      break;
+    }
+    case MessageType::KeepAlive: {
+      ++keepalives_;
+      break;
+    }
+    case MessageType::ReaderEventNotification: {
+      std::uint64_t ts_us = 0;
+      reader_events_.push_back(decode_reader_event(m.body, ts_us));
+      break;
+    }
+    default:
+      break;
+  }
+}
+
 std::size_t LlrpClient::poll() {
-  framer_.feed(channel_.read(DuplexChannel::Side::Client));
+  framer_.feed(channel_.read(ByteChannel::Side::Client));
   Message m;
   std::size_t handled = 0;
   while (framer_.next(m)) {
     ++handled;
-    switch (m.type) {
-      case MessageType::RoAccessReport: {
-        ++reports_;
-        const auto entries = decode_tag_reports(m.body);
-        for (const TagReportEntry& e : entries) {
-          ++reads_;
-          if (on_read_) on_read_(from_wire(e, config_.plan));
-        }
-        break;
-      }
-      case MessageType::AddRoSpecResponse:
-      case MessageType::EnableRoSpecResponse:
-      case MessageType::StartRoSpecResponse:
-      case MessageType::StopRoSpecResponse: {
-        ByteReader r(m.body);
-        const auto params = decode_params(r);
-        const StatusCode code = parse_status(params);
-        if (m.type == MessageType::AddRoSpecResponse) add_status_ = code;
-        if (m.type == MessageType::EnableRoSpecResponse)
-          enable_status_ = code;
-        if (m.type == MessageType::StartRoSpecResponse) start_status_ = code;
-        if (m.type == MessageType::StopRoSpecResponse) stop_status_ = code;
-        break;
-      }
-      case MessageType::GetReaderCapabilitiesResponse: {
-        capabilities_ = decode_capabilities(m.body);
-        break;
-      }
-      case MessageType::KeepAlive: {
-        ++keepalives_;
-        break;
-      }
-      case MessageType::ReaderEventNotification: {
-        std::uint64_t ts_us = 0;
-        reader_events_.push_back(decode_reader_event(m.body, ts_us));
-        break;
-      }
-      default:
-        break;
+    try {
+      handle(m);
+    } catch (const std::exception&) {
+      // A frame that framed correctly but carries a damaged body — a
+      // DecodeError, or a decoded field that fails validation further
+      // up (e.g. a bit-flipped channel index rejected by the channel
+      // plan): drop it and keep the connection — one bad report must
+      // not cost the session (the pipeline treats it as a momentary
+      // read gap).
+      ++decode_errors_;
     }
   }
   return handled;
@@ -164,7 +203,7 @@ StatusCode LlrpClient::last_status(MessageType response_type) const {
     case MessageType::EnableRoSpecResponse: return enable_status_;
     case MessageType::StartRoSpecResponse: return start_status_;
     case MessageType::StopRoSpecResponse: return stop_status_;
-    default: return StatusCode::DeviceError;
+    default: return StatusCode::NoResponse;
   }
 }
 

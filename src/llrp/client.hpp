@@ -28,13 +28,14 @@ class LlrpClient {
  public:
   using ReadCallback = std::function<void(const core::TagRead&)>;
 
-  LlrpClient(ClientConfig config, DuplexChannel& channel);
+  LlrpClient(ClientConfig config, ByteChannel& channel);
 
   /// Sends ADD_ROSPEC with a continuous-inventory ROSpec.
   std::uint32_t send_add_rospec();
   std::uint32_t send_enable_rospec();
   std::uint32_t send_start_rospec();
   std::uint32_t send_stop_rospec();
+  std::uint32_t send_delete_rospec();
   std::uint32_t send_keepalive();
   std::uint32_t send_get_capabilities();
 
@@ -63,23 +64,44 @@ class LlrpClient {
     return reader_events_;
   }
 
+  /// Message bodies that framed correctly but failed to decode (bit
+  /// corruption inside a frame). The client drops them and keeps going.
+  std::size_t decode_errors() const noexcept { return decode_errors_; }
+
+  /// Individual report entries lost to in-frame corruption (the rest of
+  /// their batch was salvaged and delivered).
+  std::size_t reads_dropped() const noexcept { return reads_dropped_; }
+
+  /// Framer diagnostics (resyncs after corrupt headers, etc.).
+  const MessageFramer::Stats& framer_stats() const noexcept {
+    return framer_.stats();
+  }
+
+  /// Prepares for a fresh connection after a transport loss: clears the
+  /// partially-buffered stream and resets response statuses to
+  /// NoResponse so a new handshake is judged on its own responses.
+  void reset_session_state();
+
  private:
   std::uint32_t send(MessageType type, std::vector<std::uint8_t> body);
+  void handle(const Message& m);
 
   ClientConfig config_;
-  DuplexChannel& channel_;
+  ByteChannel& channel_;
   MessageFramer framer_;
   ReadCallback on_read_;
   std::uint32_t next_message_id_ = 1;
   std::size_t reports_ = 0;
   std::size_t reads_ = 0;
   std::size_t keepalives_ = 0;
+  std::size_t decode_errors_ = 0;
+  std::size_t reads_dropped_ = 0;
   std::optional<ReaderCapabilities> capabilities_;
   std::vector<ReaderEventKind> reader_events_;
-  StatusCode add_status_ = StatusCode::DeviceError;
-  StatusCode enable_status_ = StatusCode::DeviceError;
-  StatusCode start_status_ = StatusCode::DeviceError;
-  StatusCode stop_status_ = StatusCode::DeviceError;
+  StatusCode add_status_ = StatusCode::NoResponse;
+  StatusCode enable_status_ = StatusCode::NoResponse;
+  StatusCode start_status_ = StatusCode::NoResponse;
+  StatusCode stop_status_ = StatusCode::NoResponse;
 };
 
 }  // namespace tagbreathe::llrp

@@ -1,0 +1,135 @@
+#include "llrp/fault_channel.hpp"
+
+#include <algorithm>
+
+namespace tagbreathe::llrp {
+
+FaultyChannel::FaultyChannel(ByteChannel& inner, FaultPlan plan)
+    : inner_(inner), plan_(plan), rng_(plan.seed) {
+  next_disconnect_ =
+      plan_.disconnect_period_s > 0.0 ? plan_.disconnect_period_s : -1.0;
+}
+
+void FaultyChannel::deliver(Side from, std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return;
+  if (plan_.byte_drop_prob <= 0.0 && plan_.bit_flip_prob <= 0.0) {
+    inner_.write(from, bytes);
+    return;
+  }
+  std::vector<std::uint8_t> damaged;
+  damaged.reserve(bytes.size());
+  for (std::uint8_t b : bytes) {
+    if (plan_.byte_drop_prob > 0.0 && rng_.bernoulli(plan_.byte_drop_prob)) {
+      ++counters_.bytes_dropped;
+      continue;
+    }
+    if (plan_.bit_flip_prob > 0.0 && rng_.bernoulli(plan_.bit_flip_prob)) {
+      b ^= static_cast<std::uint8_t>(1u << rng_.uniform_int(0, 7));
+      ++counters_.bytes_corrupted;
+    }
+    damaged.push_back(b);
+  }
+  inner_.write(from, damaged);
+}
+
+void FaultyChannel::write(Side from, std::span<const std::uint8_t> bytes) {
+  counters_.bytes_written += bytes.size();
+  if (!connected_) {
+    counters_.bytes_lost_to_disconnect += bytes.size();
+    return;
+  }
+  std::span<const std::uint8_t> payload = bytes;
+  if (plan_.partial_write_prob > 0.0 && !payload.empty() &&
+      rng_.bernoulli(plan_.partial_write_prob)) {
+    const auto keep = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<int>(payload.size()) - 1));
+    counters_.bytes_dropped += payload.size() - keep;
+    ++counters_.writes_truncated;
+    payload = payload.first(keep);
+  }
+  // A latency burst delays the STREAM, not one write: TCP never
+  // reorders, so while held bytes from this side are pending, every
+  // later write queues behind them (release times stay monotonic per
+  // side). Letting fresh writes overtake held ones once let a stale
+  // STOP_ROSPEC arrive after the next handshake's START and silently
+  // disarm the reader the supervisor believed it had just started.
+  double floor_s = 0.0;
+  bool queued_behind = false;
+  for (auto it = delayed_.rbegin(); it != delayed_.rend(); ++it) {
+    if (it->from == from) {
+      floor_s = it->release_s;
+      queued_behind = true;
+      break;
+    }
+  }
+  const bool burst = plan_.latency_burst_prob > 0.0 && !payload.empty() &&
+                     rng_.bernoulli(plan_.latency_burst_prob);
+  if (burst || queued_behind) {
+    if (burst) counters_.bytes_delayed += payload.size();
+    const double release = std::max(
+        floor_s, burst ? now_ + plan_.latency_s : now_);
+    delayed_.push_back(Delayed{from, release,
+                               {payload.begin(), payload.end()}});
+    return;
+  }
+  deliver(from, payload);
+}
+
+std::vector<std::uint8_t> FaultyChannel::read(Side to, std::size_t max_bytes) {
+  if (!connected_) return {};
+  return inner_.read(to, max_bytes);
+}
+
+std::size_t FaultyChannel::pending(Side to) const noexcept {
+  return connected_ ? inner_.pending(to) : 0;
+}
+
+void FaultyChannel::sever(bool count_scheduled) {
+  // TCP RST semantics: everything in flight — queued and latency-held —
+  // is gone; the next connection starts from a clean stream.
+  counters_.bytes_lost_to_disconnect +=
+      inner_.pending(Side::Client) + inner_.pending(Side::Reader);
+  inner_.read(Side::Client);
+  inner_.read(Side::Reader);
+  for (const Delayed& d : delayed_)
+    counters_.bytes_lost_to_disconnect += d.bytes.size();
+  delayed_.clear();
+  connected_ = false;
+  outage_until_ = now_ + plan_.disconnect_duration_s;
+  if (count_scheduled) ++counters_.disconnects;
+}
+
+void FaultyChannel::force_disconnect() {
+  if (!connected_) return;
+  sever(true);
+}
+
+bool FaultyChannel::try_reconnect() {
+  ++counters_.reconnect_attempts;
+  if (connected_) return true;
+  if (now_ < outage_until_) return false;
+  connected_ = true;
+  ++counters_.reconnects;
+  return true;
+}
+
+void FaultyChannel::advance_to(double now_s) {
+  now_ = std::max(now_, now_s);
+  if (next_disconnect_ >= 0.0 && connected_ && now_ >= next_disconnect_) {
+    sever(true);
+    while (next_disconnect_ <= now_) next_disconnect_ += plan_.disconnect_period_s;
+  }
+  // Release every due hold. The deque interleaves both directions; a
+  // not-yet-due hold from one side must not block the other side's due
+  // bytes (per-side order is already monotonic by construction).
+  for (auto it = delayed_.begin(); it != delayed_.end();) {
+    if (it->release_s <= now_) {
+      deliver(it->from, it->bytes);
+      it = delayed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace tagbreathe::llrp

@@ -1,0 +1,117 @@
+// Fault-injecting transport decorator.
+//
+// Wraps an inner ByteChannel and applies a seeded, configurable fault
+// plan on the way through: per-byte drops, per-byte bit corruption,
+// truncated (partial) writes, latency bursts that hold bytes back, and
+// scheduled hard disconnects that sever the link until the host dials
+// back in. Every fault draw comes from one Rng seeded by the plan, so a
+// failure scenario reproduces exactly from its seed — tests and benches
+// can replay the precise byte stream that broke something.
+//
+// Time: the channel has no clock of its own; the harness advances it
+// with advance_to(now_s) using the same simulated clock that drives the
+// reader. Latency release and the disconnect schedule key off that.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "llrp/transport.hpp"
+
+namespace tagbreathe::llrp {
+
+/// Knobs of the reproducible fault plan. All probabilities are per byte
+/// unless stated; 0 disables the corresponding fault.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  /// Per-byte probability of silently dropping the byte in transit (the
+  /// classic framer killer: everything after it mis-aligns).
+  double byte_drop_prob = 0.0;
+  /// Per-byte probability of flipping one random bit.
+  double bit_flip_prob = 0.0;
+  /// Per-write probability of truncating the write to a random prefix,
+  /// as a socket send() interrupted mid-frame would.
+  double partial_write_prob = 0.0;
+  /// Per-write probability of entering a latency burst: bytes written
+  /// during the burst are held and delivered `latency_s` later. Later
+  /// writes from the same side queue behind held bytes — a delayed
+  /// stream stays a stream; it never reorders.
+  double latency_burst_prob = 0.0;
+  double latency_s = 0.0;
+  /// Hard disconnect every `disconnect_period_s` (0 = never), severing
+  /// the link for `disconnect_duration_s`. In-flight bytes are lost and
+  /// reconnect attempts fail until the outage window ends.
+  double disconnect_period_s = 0.0;
+  double disconnect_duration_s = 0.5;
+
+  /// A quiet plan (no faults) — wraps the channel transparently.
+  static FaultPlan none() noexcept { return FaultPlan{}; }
+};
+
+/// Observability: everything the plan did, for assertions and health
+/// reporting.
+struct FaultCounters {
+  std::size_t bytes_written = 0;
+  std::size_t bytes_dropped = 0;
+  std::size_t bytes_corrupted = 0;
+  std::size_t writes_truncated = 0;
+  std::size_t bytes_delayed = 0;
+  std::size_t disconnects = 0;
+  std::size_t bytes_lost_to_disconnect = 0;
+  std::size_t reconnect_attempts = 0;
+  std::size_t reconnects = 0;
+};
+
+class FaultyChannel : public ByteChannel {
+ public:
+  FaultyChannel(ByteChannel& inner, FaultPlan plan);
+
+  // ByteChannel: faults are applied on the write path (the wire damages
+  // bytes in transit), reads pass through the inner channel.
+  void write(Side from, std::span<const std::uint8_t> bytes) override;
+  std::vector<std::uint8_t> read(Side to, std::size_t max_bytes = 0) override;
+  std::size_t pending(Side to) const noexcept override;
+
+  /// Advances the fault clock: fires scheduled disconnects and releases
+  /// latency-held bytes whose delivery time has come.
+  void advance_to(double now_s);
+
+  /// Severs the link immediately (in-flight bytes are lost), regardless
+  /// of the schedule. The outage lasts `disconnect_duration_s`.
+  void force_disconnect();
+
+  /// Attempts to re-establish the link, as a host re-dialing the reader
+  /// socket would. Fails (returns false) while the outage window is
+  /// still open.
+  bool try_reconnect();
+
+  bool connected() const noexcept { return connected_; }
+  double now_s() const noexcept { return now_; }
+  const FaultCounters& counters() const noexcept { return counters_; }
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  struct Delayed {
+    Side from;
+    double release_s;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  void sever(bool count_scheduled);
+  void deliver(Side from, std::span<const std::uint8_t> bytes);
+
+  ByteChannel& inner_;
+  FaultPlan plan_;
+  common::Rng rng_;
+  FaultCounters counters_;
+  double now_ = 0.0;
+  bool connected_ = true;
+  double outage_until_ = 0.0;
+  double next_disconnect_ = 0.0;
+  std::deque<Delayed> delayed_;
+};
+
+}  // namespace tagbreathe::llrp

@@ -64,20 +64,99 @@ void MessageFramer::feed(std::span<const std::uint8_t> bytes) {
   buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
 }
 
-bool MessageFramer::next(Message& out) {
-  if (buffer_.size() < kHeaderBytes) return false;
-  // Peek at the length field (bytes 2..5).
+void MessageFramer::reset() noexcept { buffer_.clear(); }
+
+bool is_known_message_type(std::uint16_t type) noexcept {
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::GetReaderCapabilities:
+    case MessageType::GetReaderCapabilitiesResponse:
+    case MessageType::AddRoSpec:
+    case MessageType::AddRoSpecResponse:
+    case MessageType::DeleteRoSpec:
+    case MessageType::DeleteRoSpecResponse:
+    case MessageType::StartRoSpec:
+    case MessageType::StartRoSpecResponse:
+    case MessageType::StopRoSpec:
+    case MessageType::StopRoSpecResponse:
+    case MessageType::EnableRoSpec:
+    case MessageType::EnableRoSpecResponse:
+    case MessageType::CloseConnection:
+    case MessageType::CloseConnectionResponse:
+    case MessageType::RoAccessReport:
+    case MessageType::KeepAlive:
+    case MessageType::ReaderEventNotification:
+    case MessageType::ErrorMessage:
+      return true;
+  }
+  return false;
+}
+
+MessageFramer::HeaderCheck MessageFramer::check_header(
+    std::size_t pos) const noexcept {
+  const std::size_t avail = buffer_.size() - pos;
+  if (avail == 0) return HeaderCheck::NeedMore;
+  // Version bits live in the top of the first byte.
+  if (((buffer_[pos] >> 2) & 0x7) != kProtocolVersion)
+    return HeaderCheck::Implausible;
+  if (avail < 2) return HeaderCheck::NeedMore;
+  // Requiring a known message type makes false sync points rare (a
+  // random byte pair passes version+type with probability ~2e-3, not
+  // 1/8), so a resync almost always lands on a true frame boundary
+  // instead of mid-body garbage that stalls the stream.
+  const std::uint16_t version_type = static_cast<std::uint16_t>(
+      (buffer_[pos] << 8) | buffer_[pos + 1]);
+  if (!is_known_message_type(version_type & 0x3FF))
+    return HeaderCheck::Implausible;
+  if (avail < 6) return HeaderCheck::NeedMore;  // length not visible yet
   std::uint32_t length = 0;
-  for (int i = 0; i < 4; ++i)
-    length = (length << 8) | buffer_[2 + static_cast<std::size_t>(i)];
-  if (length < kHeaderBytes)
-    throw DecodeError("framer: message length below header size");
-  if (buffer_.size() < length) return false;
-  out = decode_message(
-      std::span<const std::uint8_t>(buffer_.data(), length));
+  for (std::size_t i = 0; i < 4; ++i)
+    length = (length << 8) | buffer_[pos + 2 + i];
+  if (length < kHeaderBytes || length > kMaxFrameBytes)
+    return HeaderCheck::Implausible;
+  return HeaderCheck::Plausible;
+}
+
+void MessageFramer::resync(std::size_t from_pos) {
+  std::size_t pos = from_pos;
+  while (pos < buffer_.size() &&
+         check_header(pos) == HeaderCheck::Implausible)
+    ++pos;
+  ++stats_.resyncs;
+  stats_.bytes_skipped += pos;
   buffer_.erase(buffer_.begin(),
-                buffer_.begin() + static_cast<std::ptrdiff_t>(length));
-  return true;
+                buffer_.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+bool MessageFramer::next(Message& out) {
+  while (!buffer_.empty()) {
+    switch (check_header(0)) {
+      case HeaderCheck::Implausible:
+        resync(1);
+        continue;
+      case HeaderCheck::NeedMore:
+        return false;
+      case HeaderCheck::Plausible:
+        break;
+    }
+    std::uint32_t length = 0;
+    for (std::size_t i = 0; i < 4; ++i)
+      length = (length << 8) | buffer_[2 + i];
+    if (buffer_.size() < length) return false;
+    try {
+      out = decode_message(
+          std::span<const std::uint8_t>(buffer_.data(), length));
+    } catch (const DecodeError&) {
+      // Header looked fine but the frame is damaged; shift one byte and
+      // hunt for the next frame boundary.
+      resync(1);
+      continue;
+    }
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(length));
+    ++stats_.messages;
+    return true;
+  }
+  return false;
 }
 
 }  // namespace tagbreathe::llrp

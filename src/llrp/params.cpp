@@ -111,6 +111,17 @@ const Param* find_param(const std::vector<Param>& params, ParamType type) {
   return nullptr;
 }
 
+const char* status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::Success: return "Success";
+    case StatusCode::ParameterError: return "ParameterError";
+    case StatusCode::FieldError: return "FieldError";
+    case StatusCode::DeviceError: return "DeviceError";
+    case StatusCode::NoResponse: return "NoResponse";
+  }
+  return "?";
+}
+
 Param make_status(StatusCode code) {
   Param p;
   p.type = static_cast<std::uint16_t>(ParamType::LlrpStatus);
@@ -201,6 +212,70 @@ std::vector<std::uint8_t> encode_tag_reports(
   return w.take();
 }
 
+namespace {
+
+TagReportEntry decode_report_entry(const Param& p) {
+  TagReportEntry e;
+  for (const Param& c : p.children) {
+    switch (static_cast<ParamType>(c.type)) {
+      case ParamType::EpcData: {
+        ByteReader v(c.value);
+        const std::uint16_t bits = v.u16();
+        if (bits != 96) throw DecodeError("unsupported EPC length");
+        const auto raw = v.bytes(12);
+        std::array<std::uint8_t, 12> arr{};
+        std::copy(raw.begin(), raw.end(), arr.begin());
+        e.epc = rfid::Epc96(arr);
+        break;
+      }
+      case ParamType::AntennaId: {
+        ByteReader v(c.value);
+        e.antenna_id = v.u16();
+        break;
+      }
+      case ParamType::PeakRssi: {
+        ByteReader v(c.value);
+        e.peak_rssi_dbm = static_cast<std::int8_t>(v.u8());
+        break;
+      }
+      case ParamType::ChannelIndex: {
+        ByteReader v(c.value);
+        e.channel_index = v.u16();
+        break;
+      }
+      case ParamType::FirstSeenTimestampUtc: {
+        ByteReader v(c.value);
+        e.first_seen_utc_us = v.u64();
+        break;
+      }
+      case ParamType::Custom: {
+        ByteReader v(c.value);
+        const std::uint32_t vendor = v.u32();
+        if (vendor != kVendorId) break;
+        const auto subtype = static_cast<CustomSubtype>(v.u32());
+        const std::uint16_t value = v.u16();
+        switch (subtype) {
+          case CustomSubtype::RfPhaseAngle:
+            e.phase_4096 = value;
+            break;
+          case CustomSubtype::PeakRssiCentiDbm:
+            e.rssi_centi_dbm = static_cast<std::int16_t>(value);
+            break;
+          case CustomSubtype::RfDopplerFrequency:
+            e.doppler_16th_hz = static_cast<std::int16_t>(value);
+            break;
+        }
+        break;
+      }
+      default:
+        break;  // tolerate unknown children, as LTK clients must
+    }
+  }
+  return e;
+}
+
+}  // namespace
+
 std::vector<TagReportEntry> decode_tag_reports(
     std::span<const std::uint8_t> body) {
   ByteReader r(body);
@@ -209,63 +284,45 @@ std::vector<TagReportEntry> decode_tag_reports(
   for (const Param& p : params) {
     if (p.type != static_cast<std::uint16_t>(ParamType::TagReportData))
       continue;
-    TagReportEntry e;
-    for (const Param& c : p.children) {
-      switch (static_cast<ParamType>(c.type)) {
-        case ParamType::EpcData: {
-          ByteReader v(c.value);
-          const std::uint16_t bits = v.u16();
-          if (bits != 96) throw DecodeError("unsupported EPC length");
-          const auto raw = v.bytes(12);
-          std::array<std::uint8_t, 12> arr{};
-          std::copy(raw.begin(), raw.end(), arr.begin());
-          e.epc = rfid::Epc96(arr);
-          break;
-        }
-        case ParamType::AntennaId: {
-          ByteReader v(c.value);
-          e.antenna_id = v.u16();
-          break;
-        }
-        case ParamType::PeakRssi: {
-          ByteReader v(c.value);
-          e.peak_rssi_dbm = static_cast<std::int8_t>(v.u8());
-          break;
-        }
-        case ParamType::ChannelIndex: {
-          ByteReader v(c.value);
-          e.channel_index = v.u16();
-          break;
-        }
-        case ParamType::FirstSeenTimestampUtc: {
-          ByteReader v(c.value);
-          e.first_seen_utc_us = v.u64();
-          break;
-        }
-        case ParamType::Custom: {
-          ByteReader v(c.value);
-          const std::uint32_t vendor = v.u32();
-          if (vendor != kVendorId) break;
-          const auto subtype = static_cast<CustomSubtype>(v.u32());
-          const std::uint16_t value = v.u16();
-          switch (subtype) {
-            case CustomSubtype::RfPhaseAngle:
-              e.phase_4096 = value;
-              break;
-            case CustomSubtype::PeakRssiCentiDbm:
-              e.rssi_centi_dbm = static_cast<std::int16_t>(value);
-              break;
-            case CustomSubtype::RfDopplerFrequency:
-              e.doppler_16th_hz = static_cast<std::int16_t>(value);
-              break;
-          }
-          break;
-        }
-        default:
-          break;  // tolerate unknown children, as LTK clients must
-      }
+    out.push_back(decode_report_entry(p));
+  }
+  return out;
+}
+
+std::vector<TagReportEntry> decode_tag_reports_salvage(
+    std::span<const std::uint8_t> body, std::size_t& entries_dropped) {
+  std::vector<TagReportEntry> out;
+  entries_dropped = 0;
+  std::size_t pos = 0;
+  while (pos + 4 <= body.size()) {
+    // A salvageable region starts at a top-level TagReportData TLV
+    // header. Anything else here is damage — scan forward one byte at a
+    // time until the pattern reappears (the 16-bit type match makes
+    // false positives rare).
+    const std::uint16_t type = static_cast<std::uint16_t>(
+        (body[pos] << 8) | body[pos + 1]);
+    if ((type & 0x8000u) != 0 ||
+        (type & 0x3FFu) !=
+            static_cast<std::uint16_t>(ParamType::TagReportData)) {
+      ++pos;
+      continue;
     }
-    out.push_back(e);
+    const std::size_t len = static_cast<std::size_t>(
+        (body[pos + 2] << 8) | body[pos + 3]);
+    if (len < 4 || pos + len > body.size()) {
+      ++pos;  // corrupted length: treat as a false header and scan on
+      continue;
+    }
+    try {
+      ByteReader region(body.subspan(pos, len));
+      for (const Param& p : decode_params(region)) {
+        if (p.type == static_cast<std::uint16_t>(ParamType::TagReportData))
+          out.push_back(decode_report_entry(p));
+      }
+    } catch (const DecodeError&) {
+      ++entries_dropped;  // this entry is damaged; the next may be fine
+    }
+    pos += len;
   }
   return out;
 }

@@ -110,7 +110,13 @@ enum class StatusCode : std::uint16_t {
   ParameterError = 100,
   FieldError = 101,
   DeviceError = 401,
+  /// Host-side sentinel, never sent on the wire: no response of this
+  /// type has been received yet. Distinguishes "never exchanged" from
+  /// "reader rejected" in LlrpClient::last_status().
+  NoResponse = 0xFFFF,
 };
+
+const char* status_code_name(StatusCode code) noexcept;
 
 Param make_status(StatusCode code);
 StatusCode parse_status(const std::vector<Param>& params);
@@ -146,6 +152,14 @@ std::vector<std::uint8_t> encode_tag_reports(
     std::span<const TagReportEntry> entries);
 
 /// Decodes an RO_ACCESS_REPORT body.
+/// Damage-tolerant variant: decodes what it can from a corrupted report
+/// body, skipping damaged entries instead of throwing. `entries_dropped`
+/// counts TagReportData regions that framed but failed to decode. Used
+/// by the client's receive path — one flipped byte costs one entry, not
+/// the whole report batch.
+std::vector<TagReportEntry> decode_tag_reports_salvage(
+    std::span<const std::uint8_t> body, std::size_t& entries_dropped);
+
 std::vector<TagReportEntry> decode_tag_reports(
     std::span<const std::uint8_t> body);
 

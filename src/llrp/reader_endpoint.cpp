@@ -4,7 +4,7 @@
 
 namespace tagbreathe::llrp {
 
-ReaderEndpoint::ReaderEndpoint(EndpointConfig config, DuplexChannel& channel,
+ReaderEndpoint::ReaderEndpoint(EndpointConfig config, ByteChannel& channel,
                                std::unique_ptr<rfid::ReaderSim> sim)
     : config_(config), channel_(channel), sim_(std::move(sim)) {
   if (!sim_) throw std::invalid_argument("ReaderEndpoint: null sim");
@@ -145,9 +145,10 @@ void ReaderEndpoint::flush_reports() {
 
 void ReaderEndpoint::advance(double duration_s) {
   if (!started_) {
-    // Radio idle: wall clock advances but nothing is transmitted. The
-    // simulator is only stepped while inventorying, matching a reader
-    // whose ROSpec is stopped.
+    // Radio idle: the reader clock advances but nothing is transmitted,
+    // matching a reader whose ROSpec is stopped (its report timestamps
+    // still track wall time when inventory resumes).
+    sim_->skip(duration_s);
     return;
   }
   const double end = sim_->now_s() + duration_s;

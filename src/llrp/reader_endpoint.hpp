@@ -24,7 +24,7 @@ struct EndpointConfig {
 
 class ReaderEndpoint {
  public:
-  ReaderEndpoint(EndpointConfig config, DuplexChannel& channel,
+  ReaderEndpoint(EndpointConfig config, ByteChannel& channel,
                  std::unique_ptr<rfid::ReaderSim> sim);
 
   /// Handles any pending client messages (configuration plane).
@@ -33,6 +33,12 @@ class ReaderEndpoint {
   /// Advances the radio simulation; emits RO_ACCESS_REPORTs while
   /// started. No-op (time still advances) when stopped.
   void advance(double duration_s);
+
+  /// Drops any half-received frame, as the reader side of a TCP session
+  /// would when the connection is torn down and re-established. Without
+  /// this a truncated request with a plausible length field would leave
+  /// the framer waiting for bytes that belong to the *next* connection.
+  void reset_link() { framer_.reset(); }
 
   bool rospec_added() const noexcept { return rospec_id_.has_value(); }
   bool rospec_enabled() const noexcept { return enabled_; }
@@ -46,7 +52,7 @@ class ReaderEndpoint {
   void flush_reports();
 
   EndpointConfig config_;
-  DuplexChannel& channel_;
+  ByteChannel& channel_;
   std::unique_ptr<rfid::ReaderSim> sim_;
   MessageFramer framer_;
 

@@ -2,13 +2,20 @@
 // in-memory channel: the full "host <-> reader" loop in one object.
 // Examples and integration tests drive the system through this seam, so
 // every TagRead they consume has round-tripped the wire format.
+//
+// Two harnesses live here: LlrpSession (perfect transport, explicit
+// handshake — the seed behaviour) and SupervisedSession (FaultyChannel
+// transport + SessionSupervisor, the self-healing deployment loop).
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 
 #include "llrp/client.hpp"
+#include "llrp/fault_channel.hpp"
 #include "llrp/reader_endpoint.hpp"
+#include "llrp/supervisor.hpp"
 
 namespace tagbreathe::llrp {
 
@@ -63,6 +70,76 @@ class LlrpSession {
   DuplexChannel channel_;
   ReaderEndpoint endpoint_;
   LlrpClient client_;
+};
+
+struct SupervisedSessionConfig {
+  ClientConfig client{};
+  EndpointConfig endpoint{};
+  SupervisorConfig supervisor{};
+  FaultPlan faults{};
+  /// Event-loop slice: radio advance + supervisor tick cadence (a
+  /// socket loop would wake at roughly this rate on report batches).
+  double pump_period_s = 0.05;
+};
+
+/// The deployment loop: reader sim behind a fault-injecting transport,
+/// driven by the self-healing supervisor. There is no start()/stop() —
+/// the supervisor dials, configures and re-arms on its own; advance()
+/// just runs the world.
+class SupervisedSession {
+ public:
+  SupervisedSession(SupervisedSessionConfig config,
+                    std::unique_ptr<rfid::ReaderSim> sim)
+      : config_(config),
+        inner_(),
+        faulty_(inner_, config.faults),
+        endpoint_(config.endpoint, faulty_, std::move(sim)),
+        client_(config.client, faulty_),
+        supervisor_(config.supervisor, client_, &faulty_) {}
+
+  /// Runs radio, transport faults and supervision for `duration_s`.
+  void advance(double duration_s) {
+    double remaining = duration_s;
+    while (remaining > 1e-9) {
+      const double slice = std::min(config_.pump_period_s, remaining);
+      endpoint_.advance(slice);
+      const double now = endpoint_.sim().now_s();
+      faulty_.advance_to(now);       // scheduled disconnects, latency
+      sync_link_state();
+      endpoint_.process_incoming();  // answer anything still queued
+      supervisor_.advance_to(now);   // polls client, probes, re-arms
+      sync_link_state();             // supervisor may have torn down
+      endpoint_.process_incoming();  // answer what the supervisor sent
+      remaining -= slice;
+    }
+  }
+
+  double now_s() const noexcept { return endpoint_.sim().now_s(); }
+  LlrpClient& client() noexcept { return client_; }
+  ReaderEndpoint& endpoint() noexcept { return endpoint_; }
+  SessionSupervisor& supervisor() noexcept { return supervisor_; }
+  FaultyChannel& channel() noexcept { return faulty_; }
+
+ private:
+  /// The reader observes connection loss too: whenever the channel has
+  /// gone through a disconnect since the last pump, drop its
+  /// half-received frame so the stale bytes cannot poison the next
+  /// connection's framing.
+  void sync_link_state() {
+    const std::size_t disconnects = faulty_.counters().disconnects;
+    if (disconnects != disconnects_seen_) {
+      disconnects_seen_ = disconnects;
+      endpoint_.reset_link();
+    }
+  }
+
+  SupervisedSessionConfig config_;
+  DuplexChannel inner_;
+  FaultyChannel faulty_;
+  ReaderEndpoint endpoint_;
+  LlrpClient client_;
+  SessionSupervisor supervisor_;
+  std::size_t disconnects_seen_ = 0;
 };
 
 }  // namespace tagbreathe::llrp

@@ -22,4 +22,9 @@ std::size_t DuplexChannel::pending(Side to) const noexcept {
   return queue_to(to).size();
 }
 
+void DuplexChannel::clear() noexcept {
+  to_client_.clear();
+  to_reader_.clear();
+}
+
 }  // namespace tagbreathe::llrp

@@ -4,6 +4,10 @@
 // reader (DESIGN.md substitution table). Bytes written on one side are
 // readable on the other, preserving stream semantics — the framing layer
 // above must reassemble messages exactly as it would over TCP.
+//
+// ByteChannel is the seam the protocol endpoints speak through: the
+// perfect DuplexChannel below, or a FaultyChannel (fault_channel.hpp)
+// that decorates it with reproducible transport faults.
 #pragma once
 
 #include <cstdint>
@@ -13,16 +17,32 @@
 
 namespace tagbreathe::llrp {
 
-class DuplexChannel {
- public:
-  enum class Side { Client, Reader };
+enum class Side { Client, Reader };
 
-  void write(Side from, std::span<const std::uint8_t> bytes);
+/// Abstract duplex byte stream between the two protocol endpoints.
+class ByteChannel {
+ public:
+  using Side = llrp::Side;
+
+  virtual ~ByteChannel() = default;
+
+  virtual void write(Side from, std::span<const std::uint8_t> bytes) = 0;
 
   /// Reads up to `max_bytes` pending bytes destined for `to` (0 = all).
-  std::vector<std::uint8_t> read(Side to, std::size_t max_bytes = 0);
+  virtual std::vector<std::uint8_t> read(Side to, std::size_t max_bytes = 0) = 0;
 
-  std::size_t pending(Side to) const noexcept;
+  virtual std::size_t pending(Side to) const noexcept = 0;
+};
+
+/// Lossless in-memory channel (the seed behaviour).
+class DuplexChannel : public ByteChannel {
+ public:
+  void write(Side from, std::span<const std::uint8_t> bytes) override;
+  std::vector<std::uint8_t> read(Side to, std::size_t max_bytes = 0) override;
+  std::size_t pending(Side to) const noexcept override;
+
+  /// Drops everything in flight (a hard connection reset).
+  void clear() noexcept;
 
  private:
   std::deque<std::uint8_t>& queue_to(Side side) noexcept {

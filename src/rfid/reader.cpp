@@ -166,4 +166,11 @@ core::ReadStream ReaderSim::run(double duration_s) {
   return out;
 }
 
+void ReaderSim::skip(double duration_s) noexcept {
+  if (duration_s <= 0.0) return;
+  now_ += duration_s;
+  // Cached link geometry is stale after the jump.
+  link_valid_until_ = -1.0;
+}
+
 }  // namespace tagbreathe::rfid

@@ -64,6 +64,10 @@ class ReaderSim {
   /// Convenience: collects the reports of the next `duration_s`.
   core::ReadStream run(double duration_s);
 
+  /// Advances the clock without interrogating (radio idle, e.g. the
+  /// ROSpec is stopped). Reader timestamps track wall time either way.
+  void skip(double duration_s) noexcept;
+
   double now_s() const noexcept { return now_; }
   const MacStats& mac_stats() const noexcept { return mac_.stats(); }
   const std::vector<std::uint64_t>& reads_per_tag() const noexcept {

@@ -125,7 +125,11 @@ TEST(Preprocess, Eq3SignAndScale) {
                         phase.ideal_phase(d0, lambda, 5, 1));
   TagRead b = make_read(1, 1, 1, 0.016, 5,
                         phase.ideal_phase(d1, lambda, 5, 1));
-  PhasePreprocessor pre;
+  // A 4 mm step in 16 ms is a deliberate unphysical jump to exercise the
+  // arithmetic; switch off the despike gate that exists to reject it.
+  PreprocessConfig cfg;
+  cfg.spike_floor_m = 0.0;
+  PhasePreprocessor pre(cfg);
   signal::TimedSample delta;
   EXPECT_FALSE(pre.push(a, delta));  // first reading in channel
   ASSERT_TRUE(pre.push(b, delta));
@@ -144,7 +148,11 @@ TEST(Preprocess, ChannelChangeDoesNotProduceDelta) {
 }
 
 TEST(Preprocess, WrapsPhaseDeltaAcross2Pi) {
-  PhasePreprocessor pre;
+  // The wrapped step maps to ~3.4 mm in 16 ms — over the despike budget,
+  // which is not what this test is about.
+  PreprocessConfig cfg;
+  cfg.spike_floor_m = 0.0;
+  PhasePreprocessor pre(cfg);
   signal::TimedSample delta;
   // 6.2 -> 0.05 is a +0.133 rad step through the wrap, not -6.15.
   EXPECT_FALSE(pre.push(make_read(1, 1, 1, 0.0, 0, 6.2), delta));

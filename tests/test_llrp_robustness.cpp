@@ -73,17 +73,128 @@ TEST(LlrpRobustness, RandomGarbageIsRejectedOrDecoded) {
   SUCCEED();
 }
 
-TEST(LlrpRobustness, FramerSurvivesGarbageWithPlausibleLength) {
-  // A framer fed garbage whose length field is self-consistent must pop
-  // a (bogus) message or throw DecodeError; one whose length is huge
-  // must simply keep buffering, bounded by what was fed.
+TEST(LlrpRobustness, FramerDiscardsOversizedLengthAndResyncs) {
+  // A header claiming a ~2 GiB frame must not make the framer buffer
+  // forever: the implausible header is skipped and the garbage dropped.
   MessageFramer framer;
   std::vector<std::uint8_t> huge(kHeaderBytes, 0);
-  huge[2] = 0x7F;  // length ~2 GiB
+  huge[0] = 0x04;  // valid version bits so only the length is absurd
+  huge[2] = 0x7F;  // length ~2 GiB > kMaxFrameBytes
   framer.feed(huge);
   Message out;
   EXPECT_FALSE(framer.next(out));
-  EXPECT_EQ(framer.buffered_bytes(), kHeaderBytes);
+  EXPECT_LT(framer.buffered_bytes(), kHeaderBytes);
+  EXPECT_GE(framer.stats().resyncs, 1u);
+
+  // A valid message fed afterwards still comes through.
+  Message ka;
+  ka.type = MessageType::KeepAlive;
+  ka.message_id = 9;
+  framer.feed(encode_message(ka));
+  ASSERT_TRUE(framer.next(out));
+  EXPECT_EQ(out.message_id, 9u);
+}
+
+TEST(LlrpRobustness, FramerResyncsPastCorruptHeaderToNextMessage) {
+  // One corrupted byte inside a frame must cost at most that frame —
+  // the framer finds the next real header and the stream continues.
+  const auto good = valid_report_message();
+  auto corrupt = good;
+  corrupt[0] ^= 0x10;  // damage the version bits of frame 1's header
+  std::vector<std::uint8_t> stream = corrupt;
+  stream.insert(stream.end(), good.begin(), good.end());
+
+  MessageFramer framer;
+  framer.feed(stream);
+  Message out;
+  std::size_t popped = 0;
+  while (framer.next(out)) ++popped;
+  EXPECT_GE(popped, 1u);  // the intact second frame survives
+  EXPECT_EQ(out.type, MessageType::RoAccessReport);
+  EXPECT_GE(framer.stats().resyncs, 1u);
+}
+
+TEST(LlrpRobustness, FramerNeverThrowsOrStallsOnRandomStreams) {
+  // Seed-swept: random byte soup interleaved with valid frames. next()
+  // must never throw and the buffer must stay bounded.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    common::Rng rng(seed);
+    MessageFramer framer;
+    Message out;
+    for (int round = 0; round < 50; ++round) {
+      if (rng.bernoulli(0.5)) {
+        framer.feed(valid_report_message());
+      } else {
+        std::vector<std::uint8_t> junk(
+            static_cast<std::size_t>(rng.uniform_int(1, 64)));
+        for (auto& b : junk)
+          b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        framer.feed(junk);
+      }
+      while (framer.next(out)) {
+      }
+      ASSERT_LE(framer.buffered_bytes(),
+                MessageFramer::kMaxFrameBytes + 64);
+    }
+  }
+}
+
+TEST(LlrpRobustness, SeedSweptCorruptionOverParamDecodePaths) {
+  // Satellite sweep: every decode entry point in params.cpp fed
+  // randomly corrupted (multi-byte) variants of valid payloads across
+  // seeds. DecodeError or a successful decode are both fine; crashes,
+  // hangs and out-of-bounds reads are not (ASan/UBSan builds verify the
+  // latter — see TAGBREATHE_SANITIZE).
+  core::TagRead read;
+  read.epc = rfid::Epc96::from_user_tag(5, 2);
+  read.time_s = 3.5;
+  read.channel_index = 1;
+  read.rssi_dbm = -58.0;
+  read.phase_rad = 2.0;
+  const auto report_body =
+      encode_tag_reports(std::vector<TagReportEntry>{to_wire(read)});
+  const auto caps_body = encode_capabilities(ReaderCapabilities{});
+  const auto event_body =
+      encode_reader_event(ReaderEventKind::RoSpecStarted, 42);
+  ByteWriter status_w;
+  encode_param(status_w, make_status(StatusCode::Success));
+  const auto status_body = status_w.take();
+
+  const std::vector<const std::vector<std::uint8_t>*> bodies{
+      &report_body, &caps_body, &event_body, &status_body};
+
+  for (std::uint64_t seed = 100; seed < 140; ++seed) {
+    common::Rng rng(seed);
+    for (const auto* body : bodies) {
+      auto fuzzed = *body;
+      const int flips = rng.uniform_int(1, 8);
+      for (int i = 0; i < flips && !fuzzed.empty(); ++i) {
+        const auto pos = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(fuzzed.size()) - 1));
+        fuzzed[pos] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+      }
+      try {
+        decode_tag_reports(fuzzed);
+      } catch (const DecodeError&) {
+      }
+      try {
+        decode_capabilities(fuzzed);
+      } catch (const DecodeError&) {
+      }
+      try {
+        std::uint64_t ts = 0;
+        decode_reader_event(fuzzed, ts);
+      } catch (const DecodeError&) {
+      }
+      try {
+        ByteReader r(fuzzed);
+        const auto params = decode_params(r);
+        parse_status(params);
+      } catch (const DecodeError&) {
+      }
+    }
+  }
+  SUCCEED();
 }
 
 TEST(LlrpRobustness, ZeroLengthTlvRejected) {
