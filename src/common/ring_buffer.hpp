@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace tagbreathe::common {
@@ -34,6 +35,21 @@ class RingBuffer {
   const T& operator[](std::size_t i) const {
     if (i >= size_) throw std::out_of_range("RingBuffer index");
     return storage_[(head_ + i) % capacity_];
+  }
+
+  /// Mutable oldest-first access (the ingest queue coalesces in place).
+  T& operator[](std::size_t i) {
+    if (i >= size_) throw std::out_of_range("RingBuffer index");
+    return storage_[(head_ + i) % capacity_];
+  }
+
+  /// Removes and returns the oldest element.
+  T pop_front() {
+    if (size_ == 0) throw std::out_of_range("RingBuffer pop_front on empty");
+    T out = std::move(storage_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+    return out;
   }
 
   const T& front() const { return (*this)[0]; }

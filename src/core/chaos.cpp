@@ -1,0 +1,360 @@
+#include "core/chaos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace tagbreathe::core {
+
+namespace {
+
+// Enough violation lines to diagnose a failure without letting a broken
+// run allocate without bound.
+constexpr std::size_t kMaxViolations = 50;
+
+void add_violation(std::vector<std::string>& violations, std::string line) {
+  if (violations.size() < kMaxViolations) {
+    violations.push_back(std::move(line));
+  } else if (violations.size() == kMaxViolations) {
+    violations.push_back("... further violations suppressed");
+  }
+}
+
+}  // namespace
+
+void ChaosConfig::validate() const {
+  const auto bad = [](const std::string& what) {
+    throw std::invalid_argument("ChaosConfig: " + what);
+  };
+  const auto check_prob = [&](double p, const char* name) {
+    if (!(p >= 0.0 && p <= 1.0))
+      bad(std::string(name) + " must be a probability in [0, 1]");
+  };
+  check_prob(dropout_prob, "dropout_prob");
+  check_prob(duplicate_prob, "duplicate_prob");
+  check_prob(reorder_prob, "reorder_prob");
+  check_prob(skew_prob, "skew_prob");
+  check_prob(epc_corrupt_prob, "epc_corrupt_prob");
+  const auto check_dur = [&](double s, const char* name) {
+    if (!(s >= 0.0) || !std::isfinite(s))
+      bad(std::string(name) + " must be non-negative and finite");
+  };
+  check_dur(reorder_max_delay_s, "reorder_max_delay_s");
+  check_dur(skew_max_s, "skew_max_s");
+  check_dur(blackout_period_s, "blackout_period_s");
+  check_dur(blackout_duration_s, "blackout_duration_s");
+  check_dur(burst_period_s, "burst_period_s");
+  if (blackout_period_s > 0.0 && blackout_duration_s >= blackout_period_s)
+    bad("blackout_duration_s must be below blackout_period_s");
+  if (reorder_prob > 0.0 && reorder_max_delay_s <= 0.0)
+    bad("reorder_prob needs a positive reorder_max_delay_s");
+}
+
+ChaosConfig ChaosConfig::composite(std::uint64_t seed) {
+  ChaosConfig cfg;
+  cfg.seed = seed;
+  cfg.dropout_prob = 0.02;
+  cfg.duplicate_prob = 0.02;
+  cfg.reorder_prob = 0.05;
+  cfg.reorder_max_delay_s = 0.15;  // mostly inside the repair-skew band
+  cfg.skew_prob = 0.01;
+  cfg.skew_max_s = 1.0;  // some regressions beyond repair => quarantine
+  cfg.epc_corrupt_prob = 0.01;
+  cfg.blackout_period_s = 60.0;
+  cfg.blackout_duration_s = 8.0;  // above the default signal_loss_s
+  cfg.burst_period_s = 45.0;
+  cfg.burst_copies = 2;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// ChaosInjector
+
+ChaosInjector::ChaosInjector(ChaosConfig config)
+    : config_(config),
+      rng_(config.seed),
+      recent_(32),
+      next_burst_s_(config.burst_period_s > 0.0
+                        ? config.burst_period_s
+                        : std::numeric_limits<double>::infinity()) {
+  config_.validate();
+}
+
+bool ChaosInjector::in_blackout(double time_s) const noexcept {
+  if (config_.blackout_period_s <= 0.0 || config_.blackout_duration_s <= 0.0)
+    return false;
+  const double into = std::fmod(time_s, config_.blackout_period_s);
+  // The blackout window sits at the end of each period, so delivery
+  // starts clean at t = 0.
+  return into >= config_.blackout_period_s - config_.blackout_duration_s;
+}
+
+void ChaosInjector::deliver(const TagRead& read, std::vector<TagRead>& out) {
+  out.push_back(read);
+  ++stats_.total_out;
+  recent_.push(read);
+}
+
+void ChaosInjector::release_due(double now_s, std::vector<TagRead>& out) {
+  for (auto it = delayed_.begin(); it != delayed_.end();) {
+    if (it->deliver_at_s <= now_s) {
+      deliver(it->read, out);
+      it = delayed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ChaosInjector::feed(const TagRead& read, std::vector<TagRead>& out) {
+  release_due(read.time_s, out);
+  ++stats_.total_in;
+
+  // Burst overload fires on schedule even while individual reads drop.
+  while (read.time_s >= next_burst_s_) {
+    const std::size_t backlog = recent_.size();
+    for (std::size_t copy = 0; copy < config_.burst_copies; ++copy) {
+      for (std::size_t i = 0; i < backlog; ++i) {
+        deliver(recent_[i], out);
+        ++stats_.burst_injected;
+      }
+    }
+    next_burst_s_ += config_.burst_period_s;
+  }
+
+  if (in_blackout(read.time_s)) {
+    ++stats_.blackout_dropped;
+    return;
+  }
+  if (config_.dropout_prob > 0.0 && rng_.bernoulli(config_.dropout_prob)) {
+    ++stats_.dropped;
+    return;
+  }
+
+  TagRead r = read;
+  if (config_.skew_prob > 0.0 && rng_.bernoulli(config_.skew_prob)) {
+    r.time_s += rng_.uniform(-config_.skew_max_s, config_.skew_max_s);
+    ++stats_.skewed;
+  }
+  if (config_.epc_corrupt_prob > 0.0 &&
+      rng_.bernoulli(config_.epc_corrupt_prob)) {
+    auto bytes = r.epc.bytes();
+    const int bit = rng_.uniform_int(0, 95);
+    bytes[static_cast<std::size_t>(bit) / 8] ^=
+        static_cast<std::uint8_t>(1u << (bit % 8));
+    r.epc = rfid::Epc96(bytes);
+    ++stats_.corrupted;
+  }
+
+  if (config_.reorder_prob > 0.0 && rng_.bernoulli(config_.reorder_prob)) {
+    const double delay = rng_.uniform(0.0, config_.reorder_max_delay_s);
+    delayed_.push_back(Delayed{read.time_s + delay, r});
+    ++stats_.reordered;
+    return;
+  }
+
+  deliver(r, out);
+  if (config_.duplicate_prob > 0.0 && rng_.bernoulli(config_.duplicate_prob)) {
+    deliver(r, out);
+    ++stats_.duplicated;
+  }
+}
+
+void ChaosInjector::flush(std::vector<TagRead>& out) {
+  for (const Delayed& d : delayed_) deliver(d.read, out);
+  delayed_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Soak harness
+
+void SoakConfig::validate() const {
+  const auto bad = [](const std::string& what) {
+    throw std::invalid_argument("SoakConfig: " + what);
+  };
+  if (n_users == 0) bad("n_users must be positive");
+  if (tags_per_user == 0) bad("tags_per_user must be positive");
+  if (!(duration_s > 0.0) || !std::isfinite(duration_s))
+    bad("duration_s must be positive and finite");
+  if (!(read_rate_hz > 0.0) || !std::isfinite(read_rate_hz))
+    bad("read_rate_hz must be positive and finite");
+  if (!(pump_period_s > 0.0) || !std::isfinite(pump_period_s))
+    bad("pump_period_s must be positive and finite");
+  ingest.validate();
+  pipeline.validate();
+  chaos.validate();
+}
+
+SoakReport run_soak(const SoakConfig& config) {
+  config.validate();
+  SoakReport report;
+
+  // Roster: user IDs 1..n. The ingest layer quarantines anything else
+  // (corrupted EPCs), unless the caller supplied an explicit roster.
+  std::vector<std::uint64_t> roster;
+  roster.reserve(config.n_users);
+  for (std::size_t u = 0; u < config.n_users; ++u)
+    roster.push_back(static_cast<std::uint64_t>(u + 1));
+
+  IngestConfig ingest_cfg = config.ingest;
+  if (ingest_cfg.monitored_users.empty()) ingest_cfg.monitored_users = roster;
+
+  PipelineConfig pipeline_cfg = config.pipeline;
+  if (pipeline_cfg.max_users == 0) pipeline_cfg.max_users = ingest_cfg.max_users;
+
+  // --- invariant-checking event sink -------------------------------------
+  double last_event_s = -std::numeric_limits<double>::infinity();
+  RealtimePipeline pipeline(
+      pipeline_cfg, [&](const PipelineEvent& event) {
+        ++report.events;
+        if (event.kind == PipelineEventKind::SignalLost)
+          ++report.signal_lost_events;
+        if (event.kind == PipelineEventKind::SignalRecovered)
+          ++report.signal_recovered_events;
+
+        if (event.time_s < last_event_s)
+          add_violation(report.violations,
+                        "non-monotonic event time at t=" +
+                            std::to_string(event.time_s));
+        last_event_s = std::max(last_event_s, event.time_s);
+        report.last_event_time_s = last_event_s;
+
+        if (!std::binary_search(roster.begin(), roster.end(), event.user_id))
+          add_violation(report.violations,
+                        "event for unadmitted user " +
+                            std::to_string(event.user_id) +
+                            " (quarantine breached)");
+
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "t=%010.3f user=%03llu %s rate=%07.3f reliable=%d "
+                      "health=%s",
+                      event.time_s,
+                      static_cast<unsigned long long>(event.user_id),
+                      pipeline_event_name(event.kind), event.rate_bpm,
+                      event.reliable ? 1 : 0,
+                      signal_health_name(event.health));
+        report.event_log.emplace_back(line);
+      });
+
+  IngestFrontEnd frontend(ingest_cfg, pipeline);
+  ChaosInjector injector(config.chaos);
+
+  // --- clean synthetic population ----------------------------------------
+  // One read stream per (user, tag) on a staggered grid; the phase is a
+  // breathing sinusoid on top of a per-tag static offset, matching what
+  // the demux/preprocess layers expect from a real array.
+  const std::size_t total_tags = config.n_users * config.tags_per_user;
+  const double period = 1.0 / config.read_rate_hz;
+  std::vector<TagRead> clean;
+  clean.reserve(static_cast<std::size_t>(config.duration_s *
+                                         config.read_rate_hz) *
+                    total_tags +
+                total_tags);
+  for (std::size_t u = 0; u < config.n_users; ++u) {
+    const double f_hz =
+        common::bpm_to_hz(config.base_rate_bpm + 1.5 * static_cast<double>(u));
+    for (std::size_t tag = 0; tag < config.tags_per_user; ++tag) {
+      const std::size_t slot = u * config.tags_per_user + tag;
+      const double offset =
+          period * static_cast<double>(slot) / static_cast<double>(total_tags);
+      const double static_phase =
+          1.1 + 0.7 * static_cast<double>(tag) + 0.3 * static_cast<double>(u);
+      for (double t = offset; t <= config.duration_s; t += period) {
+        TagRead read;
+        read.time_s = t;
+        read.epc = rfid::Epc96::from_user_tag(
+            roster[u], static_cast<std::uint32_t>(tag + 1));
+        read.antenna_id = 1;
+        read.channel_index = 1;
+        read.frequency_hz = 920.625e6;
+        read.rssi_dbm = -55.0;
+        read.phase_rad = common::wrap_phase_2pi(
+            static_phase +
+            0.35 * std::sin(common::kTwoPi * f_hz * t +
+                            0.9 * static_cast<double>(slot)));
+        clean.push_back(read);
+      }
+    }
+  }
+  std::stable_sort(clean.begin(), clean.end(),
+                   [](const TagRead& a, const TagRead& b) {
+                     return a.time_s < b.time_s;
+                   });
+
+  // --- drive -------------------------------------------------------------
+  const std::size_t user_cap =
+      pipeline_cfg.max_users > 0 ? pipeline_cfg.max_users : config.n_users;
+  std::vector<TagRead> delivered;
+  double next_pump = config.pump_period_s;
+  const auto pump_and_check = [&](double now_s) {
+    frontend.pump(now_s);
+    report.peak_tracked_users =
+        std::max(report.peak_tracked_users, pipeline.tracked_users());
+    if (pipeline.tracked_users() > user_cap)
+      add_violation(report.violations,
+                    "tracked users " +
+                        std::to_string(pipeline.tracked_users()) +
+                        " exceed cap " + std::to_string(user_cap));
+    if (ingest_cfg.max_users > 0 &&
+        frontend.validator().tracked_users() > ingest_cfg.max_users)
+      add_violation(report.violations, "validator user state exceeds cap");
+  };
+
+  for (const TagRead& read : clean) {
+    delivered.clear();
+    injector.feed(read, delivered);
+    for (const TagRead& r : delivered) frontend.offer(r, read.time_s);
+    while (read.time_s >= next_pump) {
+      pump_and_check(next_pump);
+      next_pump += config.pump_period_s;
+    }
+  }
+  delivered.clear();
+  injector.flush(delivered);
+  for (const TagRead& r : delivered) frontend.offer(r, config.duration_s);
+  pump_and_check(config.duration_s);
+
+  // --- post-run invariants ------------------------------------------------
+  report.chaos = injector.stats();
+  report.queue = frontend.queue_counters();
+  report.validation = frontend.validation();
+
+  if (report.queue.peak_depth > frontend.queue().capacity())
+    add_violation(report.violations, "queue depth exceeded capacity");
+
+  // Conservation: every read accepted into the queue is either still
+  // queued (none, after the final pump), drained, shed or coalesced.
+  if (report.queue.enqueued != report.queue.drained +
+                                   report.queue.shed_oldest +
+                                   report.queue.coalesced)
+    add_violation(report.violations, "queue counter conservation broken");
+
+  // SignalHealth vs injected gaps: a blackout longer than the loss
+  // threshold must produce Lost transitions (and recoveries, since
+  // delivery resumes), and every Lost transition must be attributable
+  // to a blackout window when blackouts are the only gap source.
+  const ChaosConfig& chaos = config.chaos;
+  const bool long_blackouts =
+      chaos.blackout_period_s > 0.0 &&
+      chaos.blackout_duration_s >
+          pipeline_cfg.signal_loss_s + pipeline_cfg.update_period_s &&
+      config.duration_s >= chaos.blackout_period_s;
+  if (long_blackouts) {
+    if (report.signal_lost_events == 0)
+      add_violation(report.violations,
+                    "blackouts above signal_loss_s produced no SignalLost");
+    if (report.signal_recovered_events == 0)
+      add_violation(report.violations,
+                    "delivery resumed after blackouts but no SignalRecovered");
+  }
+
+  return report;
+}
+
+}  // namespace tagbreathe::core

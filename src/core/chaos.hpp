@@ -1,0 +1,154 @@
+// Deterministic chaos-scenario harness for the ingest front-end.
+//
+// The transport layer's FaultPlan (llrp/fault_channel) models wire
+// faults — disconnects, latency, frame corruption. This layer composes
+// the failure modes the transport cannot express because they happen to
+// *decoded reads*: tag dropout, duplicate and out-of-order delivery,
+// timestamp skew and regression, EPC bit corruption, burst overload,
+// reader blackouts. Every mode is driven by a seeded Rng and stream
+// time, so a scenario replays bit-identically from its seed.
+//
+// run_soak() drives a multi-user synthetic breathing population through
+// a ChaosInjector into an IngestFrontEnd + RealtimePipeline and checks
+// the data-plane invariants the admission layer exists to guarantee:
+// bounded queue depth and per-user state, monotonic emitted timestamps,
+// no events for users outside the roster (i.e. nothing estimated from
+// quarantined reads), and SignalLost/Recovered transitions consistent
+// with injected blackouts. The event log uses fixed-precision
+// formatting so two runs with one seed produce identical logs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+#include "common/rng.hpp"
+#include "core/ingest.hpp"
+#include "core/pipeline.hpp"
+#include "core/types.hpp"
+
+namespace tagbreathe::core {
+
+struct ChaosConfig {
+  std::uint64_t seed = 0xC4A05;
+  /// Per-read probability of silent loss (tag dropout / missed slot).
+  double dropout_prob = 0.0;
+  /// Per-read probability of a second, identical delivery.
+  double duplicate_prob = 0.0;
+  /// Per-read probability of delayed delivery (=> out-of-order), with a
+  /// uniform hold-back in (0, reorder_max_delay_s].
+  double reorder_prob = 0.0;
+  double reorder_max_delay_s = 0.0;
+  /// Per-read probability of a timestamp step, uniform in
+  /// [-skew_max_s, +skew_max_s] (negative steps are regressions).
+  double skew_prob = 0.0;
+  double skew_max_s = 0.0;
+  /// Per-read probability of flipping one random bit of the EPC.
+  double epc_corrupt_prob = 0.0;
+  /// Reader blackout: every `blackout_period_s` of stream time, all
+  /// delivery stops for `blackout_duration_s` (line-of-sight blockage,
+  /// reader reboot). 0 disables.
+  double blackout_period_s = 0.0;
+  double blackout_duration_s = 0.0;
+  /// Burst overload: every `burst_period_s`, the most recent delivered
+  /// reads are replayed `burst_copies` times back-to-back (a reader
+  /// flushing a stale report backlog). 0 disables.
+  double burst_period_s = 0.0;
+  std::size_t burst_copies = 0;
+
+  /// Throws std::invalid_argument on nonsensical values (probabilities
+  /// outside [0, 1], negative durations).
+  void validate() const;
+
+  /// Every failure mode enabled at moderate rates — the composite
+  /// scenario the acceptance soak runs.
+  static ChaosConfig composite(std::uint64_t seed);
+};
+
+struct ChaosStats {
+  std::size_t total_in = 0;          // clean reads fed
+  std::size_t total_out = 0;         // reads delivered downstream
+  std::size_t dropped = 0;           // per-read dropout
+  std::size_t blackout_dropped = 0;  // lost to blackout windows
+  std::size_t duplicated = 0;        // extra deliveries injected
+  std::size_t reordered = 0;         // reads delivered late
+  std::size_t skewed = 0;            // timestamps perturbed
+  std::size_t corrupted = 0;         // EPC bits flipped
+  std::size_t burst_injected = 0;    // overload replays injected
+};
+
+/// Applies the configured failure modes to a clean, time-ordered read
+/// stream. Feed reads in order; delivered (possibly mangled) reads are
+/// appended to the caller's vector.
+class ChaosInjector {
+ public:
+  explicit ChaosInjector(ChaosConfig config);
+
+  /// Feeds one clean read; appends 0..n deliveries to `out`.
+  void feed(const TagRead& read, std::vector<TagRead>& out);
+
+  /// Delivers any reads still held back for reordering.
+  void flush(std::vector<TagRead>& out);
+
+  const ChaosStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Delayed {
+    double deliver_at_s = 0.0;
+    TagRead read;
+  };
+
+  bool in_blackout(double time_s) const noexcept;
+  void deliver(const TagRead& read, std::vector<TagRead>& out);
+  void release_due(double now_s, std::vector<TagRead>& out);
+
+  ChaosConfig config_;
+  common::Rng rng_;
+  ChaosStats stats_;
+  std::vector<Delayed> delayed_;
+  common::RingBuffer<TagRead> recent_;  // replay source for bursts
+  double next_burst_s_;
+};
+
+/// Multi-user end-to-end soak under chaos.
+struct SoakConfig {
+  std::size_t n_users = 3;
+  std::size_t tags_per_user = 2;
+  /// Simulated duration (the acceptance scenario runs 600 s).
+  double duration_s = 600.0;
+  /// Clean per-tag read cadence.
+  double read_rate_hz = 8.0;
+  /// User u breathes at base + 1.5·u bpm.
+  double base_rate_bpm = 10.0;
+  /// Analysis-thread pump cadence.
+  double pump_period_s = 0.25;
+  IngestConfig ingest{};
+  PipelineConfig pipeline{};
+  ChaosConfig chaos{};
+
+  void validate() const;
+};
+
+struct SoakReport {
+  /// Fixed-precision, deterministic log of every pipeline event.
+  std::vector<std::string> event_log;
+  /// Invariant violations (empty on a healthy run).
+  std::vector<std::string> violations;
+  ChaosStats chaos;
+  IngestQueueCounters queue;
+  ValidationCounters validation;
+  std::size_t events = 0;
+  std::size_t signal_lost_events = 0;
+  std::size_t signal_recovered_events = 0;
+  std::size_t peak_tracked_users = 0;
+  double last_event_time_s = 0.0;
+
+  bool ok() const noexcept { return violations.empty(); }
+};
+
+/// Runs the soak and checks invariants. Deterministic: two calls with
+/// equal configs return identical reports (event logs included).
+SoakReport run_soak(const SoakConfig& config);
+
+}  // namespace tagbreathe::core

@@ -36,7 +36,12 @@ void StreamDemux::add(const TagRead& read) {
     return;
   }
   const StreamKey key{user, tag, read.antenna_id};
-  streams_[key].push_back(read);
+  auto& stream = streams_[key];
+  if (max_reads_per_stream_ > 0 && stream.size() >= max_reads_per_stream_) {
+    stream.erase(stream.begin());
+    ++shed_;
+  }
+  stream.push_back(read);
   ++accepted_;
 }
 
@@ -91,6 +96,20 @@ void StreamDemux::clear() noexcept {
   streams_.clear();
   accepted_ = 0;
   ignored_ = 0;
+  shed_ = 0;
+}
+
+std::size_t StreamDemux::drop_user(std::uint64_t user_id) {
+  std::size_t released = 0;
+  for (auto it = streams_.begin(); it != streams_.end();) {
+    if (it->first.user_id == user_id) {
+      released += it->second.size();
+      it = streams_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return released;
 }
 
 void StreamDemux::evict_before(double cutoff_s) {

@@ -65,11 +65,25 @@ class StreamDemux {
   std::size_t accepted_reads() const noexcept { return accepted_; }
   std::size_t ignored_reads() const noexcept { return ignored_; }
 
+  /// Hard cap on buffered reads per (user, tag, antenna) stream; the
+  /// oldest read of the stream is shed when a new one would exceed it.
+  /// Guards memory against a reader stuck replaying one tag faster than
+  /// the window eviction cadence. 0 = unlimited.
+  void set_max_reads_per_stream(std::size_t cap) noexcept {
+    max_reads_per_stream_ = cap;
+  }
+  /// Reads shed by the per-stream cap.
+  std::size_t shed_reads() const noexcept { return shed_; }
+
   void clear() noexcept;
 
   /// Drops all reads older than `cutoff_s` (sliding-window pipelines call
   /// this to bound memory over long sessions).
   void evict_before(double cutoff_s);
+
+  /// Drops every stream of one user (admission-control eviction).
+  /// Returns the number of reads released.
+  std::size_t drop_user(std::uint64_t user_id);
 
  private:
   bool is_monitored(std::uint64_t user_id) const noexcept;
@@ -79,6 +93,8 @@ class StreamDemux {
   std::map<StreamKey, std::vector<TagRead>> streams_;
   std::size_t accepted_ = 0;
   std::size_t ignored_ = 0;
+  std::size_t shed_ = 0;
+  std::size_t max_reads_per_stream_ = 0;
 };
 
 }  // namespace tagbreathe::core

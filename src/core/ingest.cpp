@@ -1,0 +1,267 @@
+#include "core/ingest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace tagbreathe::core {
+
+const char* backpressure_policy_name(BackpressurePolicy policy) noexcept {
+  switch (policy) {
+    case BackpressurePolicy::Block: return "block";
+    case BackpressurePolicy::DropOldest: return "drop-oldest";
+    case BackpressurePolicy::Coalesce: return "coalesce";
+    default: return "unknown-policy";
+  }
+}
+
+const char* enqueue_result_name(EnqueueResult result) noexcept {
+  switch (result) {
+    case EnqueueResult::Enqueued: return "enqueued";
+    case EnqueueResult::DroppedOldest: return "dropped-oldest";
+    case EnqueueResult::Coalesced: return "coalesced";
+    case EnqueueResult::WouldBlock: return "would-block";
+    case EnqueueResult::Closed: return "closed";
+    default: return "unknown-result";
+  }
+}
+
+const char* quarantine_reason_name(QuarantineReason reason) noexcept {
+  switch (reason) {
+    case QuarantineReason::MalformedEpc: return "malformed-epc";
+    case QuarantineReason::UnknownUser: return "unknown-user";
+    case QuarantineReason::NonFiniteField: return "non-finite-field";
+    case QuarantineReason::TimestampRegression: return "timestamp-regression";
+    case QuarantineReason::DuplicateRead: return "duplicate-read";
+    default: return "unknown-reason";
+  }
+}
+
+void IngestConfig::validate() const {
+  const auto bad = [](const std::string& what) {
+    throw std::invalid_argument("IngestConfig: " + what);
+  };
+  if (queue_capacity == 0) bad("queue_capacity must be positive");
+  if (static_cast<std::size_t>(policy) >= kBackpressurePolicyCount)
+    bad("policy out of range");
+  if (!(repair_skew_s >= 0.0) || !std::isfinite(repair_skew_s))
+    bad("repair_skew_s must be non-negative and finite");
+  if (!(duplicate_window_s >= 0.0) || !std::isfinite(duplicate_window_s))
+    bad("duplicate_window_s must be non-negative and finite");
+}
+
+// ---------------------------------------------------------------------------
+// IngestQueue
+
+IngestQueue::IngestQueue(std::size_t capacity, BackpressurePolicy policy)
+    : capacity_(capacity), policy_(policy), buffer_(capacity) {
+  if (capacity == 0)
+    throw std::invalid_argument("IngestQueue capacity must be positive");
+}
+
+EnqueueResult IngestQueue::push_locked(const TagRead& read, double now_s) {
+  if (closed_) {
+    ++counters_.closed_rejects;
+    return EnqueueResult::Closed;
+  }
+  EnqueueResult result = EnqueueResult::Enqueued;
+  if (buffer_.full()) {
+    if (policy_ == BackpressurePolicy::Coalesce) {
+      // Newest-first scan: under overload the freshest queued sample of
+      // this tag is the one worth replacing.
+      const std::uint64_t user = read.epc.user_id();
+      const std::uint32_t tag = read.epc.tag_id();
+      for (std::size_t i = buffer_.size(); i-- > 0;) {
+        Slot& slot = buffer_[i];
+        if (slot.read.epc.user_id() == user &&
+            slot.read.epc.tag_id() == tag &&
+            slot.read.antenna_id == read.antenna_id) {
+          slot.read = read;
+          slot.enqueued_at = now_s;
+          ++counters_.coalesced;
+          ++counters_.enqueued;
+          return EnqueueResult::Coalesced;
+        }
+      }
+    }
+    // DropOldest, or Coalesce with no same-tag entry queued.
+    buffer_.pop_front();
+    ++counters_.shed_oldest;
+    result = EnqueueResult::DroppedOldest;
+  }
+  buffer_.push(Slot{read, now_s});
+  ++counters_.enqueued;
+  counters_.peak_depth = std::max(counters_.peak_depth, buffer_.size());
+  return result;
+}
+
+EnqueueResult IngestQueue::push(const TagRead& read, double now_s) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (policy_ == BackpressurePolicy::Block && buffer_.full() && !closed_) {
+    ++counters_.blocked_pushes;
+    room_.wait(lock, [this] { return !buffer_.full() || closed_; });
+  }
+  return push_locked(read, now_s);
+}
+
+EnqueueResult IngestQueue::try_push(const TagRead& read, double now_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (policy_ == BackpressurePolicy::Block && buffer_.full() && !closed_) {
+    ++counters_.would_block;
+    return EnqueueResult::WouldBlock;
+  }
+  return push_locked(read, now_s);
+}
+
+std::size_t IngestQueue::drain(std::vector<TagRead>& out, double now_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t n = buffer_.size();
+  out.reserve(out.size() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Slot slot = buffer_.pop_front();
+    counters_.queue_delay.record(std::max(0.0, now_s - slot.enqueued_at));
+    out.push_back(std::move(slot.read));
+  }
+  counters_.drained += n;
+  if (n > 0) room_.notify_all();
+  return n;
+}
+
+void IngestQueue::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  room_.notify_all();
+}
+
+std::size_t IngestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buffer_.size();
+}
+
+bool IngestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+IngestQueueCounters IngestQueue::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+// ---------------------------------------------------------------------------
+// ReadValidator
+
+ReadValidator::ReadValidator(IngestConfig config)
+    : config_(std::move(config)),
+      last_admitted_s_(-std::numeric_limits<double>::infinity()) {
+  config_.validate();
+  std::sort(config_.monitored_users.begin(), config_.monitored_users.end());
+}
+
+ReadValidator::Verdict ReadValidator::quarantine(QuarantineReason reason) {
+  ++counters_.quarantined_total;
+  ++counters_.quarantined[static_cast<std::size_t>(reason)];
+  return Verdict{false, false, reason};
+}
+
+void ReadValidator::touch_user(std::uint64_t user_id) {
+  const auto it = lru_index_.find(user_id);
+  if (it != lru_index_.end()) {
+    lru_order_.splice(lru_order_.end(), lru_order_, it->second);
+    return;
+  }
+  lru_index_[user_id] = lru_order_.insert(lru_order_.end(), user_id);
+  if (config_.max_users == 0 || lru_index_.size() <= config_.max_users)
+    return;
+  const std::uint64_t victim = lru_order_.front();
+  lru_order_.pop_front();
+  lru_index_.erase(victim);
+  // Release the victim's per-stream state too, or the streams_ map
+  // would keep growing across eviction churn.
+  for (auto s = streams_.begin(); s != streams_.end();) {
+    if (s->first.user_id == victim)
+      s = streams_.erase(s);
+    else
+      ++s;
+  }
+  pending_evictions_.push_back(victim);
+  ++counters_.users_evicted;
+}
+
+std::vector<std::uint64_t> ReadValidator::take_evicted_users() {
+  std::vector<std::uint64_t> out;
+  out.swap(pending_evictions_);
+  return out;
+}
+
+ReadValidator::Verdict ReadValidator::admit(TagRead& read) {
+  if (!read_is_finite(read)) return quarantine(QuarantineReason::NonFiniteField);
+
+  const std::uint64_t user = read.epc.user_id();
+  const std::uint32_t tag = read.epc.tag_id();
+  // Monitoring EPCs are written as nonzero user + nonzero tag (Fig. 9);
+  // an all-zero field means the decode is not one of ours.
+  if (user == 0 || tag == 0) return quarantine(QuarantineReason::MalformedEpc);
+  if (!config_.monitored_users.empty() &&
+      !std::binary_search(config_.monitored_users.begin(),
+                          config_.monitored_users.end(), user))
+    return quarantine(QuarantineReason::UnknownUser);
+
+  // Timestamp discipline: the pipeline needs a non-decreasing stream.
+  // Small regressions (reorder jitter, reader clock steps) are clamped
+  // to the admission frontier; large ones are rejected outright.
+  bool repaired = false;
+  if (read.time_s < last_admitted_s_) {
+    if (last_admitted_s_ - read.time_s > config_.repair_skew_s)
+      return quarantine(QuarantineReason::TimestampRegression);
+    read.time_s = last_admitted_s_;
+    repaired = true;
+  }
+
+  const LruKey key{user, tag, read.antenna_id};
+  const auto stream = streams_.find(key);
+  if (stream != streams_.end() &&
+      std::abs(read.time_s - stream->second.last_time_s) <=
+          config_.duplicate_window_s &&
+      read.phase_rad == stream->second.last_phase_rad)
+    return quarantine(QuarantineReason::DuplicateRead);
+
+  streams_[key] = StreamState{read.time_s, read.phase_rad};
+  last_admitted_s_ = read.time_s;
+  touch_user(user);
+  ++counters_.admitted;
+  if (repaired) ++counters_.repaired_timestamps;
+  return Verdict{true, repaired, QuarantineReason::MalformedEpc};
+}
+
+// ---------------------------------------------------------------------------
+// IngestFrontEnd
+
+IngestFrontEnd::IngestFrontEnd(IngestConfig config, RealtimePipeline& pipeline)
+    : queue_(config.queue_capacity, config.policy),
+      validator_(config),  // ReadValidator runs config.validate()
+      pipeline_(pipeline) {}
+
+EnqueueResult IngestFrontEnd::offer(const TagRead& read, double now_s) {
+  return queue_.try_push(read, now_s);
+}
+
+std::size_t IngestFrontEnd::pump(double now_s) {
+  scratch_.clear();
+  queue_.drain(scratch_, now_s);
+  std::size_t admitted = 0;
+  for (TagRead& read : scratch_) {
+    if (validator_.admit(read).admitted) {
+      pipeline_.push(read);
+      ++admitted;
+    }
+  }
+  for (const std::uint64_t user : validator_.take_evicted_users())
+    pipeline_.forget_user(user);
+  pipeline_.advance_to(now_s);
+  return admitted;
+}
+
+}  // namespace tagbreathe::core

@@ -1,0 +1,271 @@
+// Robust ingest front-end: the admission layer between read producers
+// (llrp client / reader sim) and the analysis pipeline.
+//
+// The paper's chain trusts every decoded read; in deployment the stream
+// is dirty — duplicated report entries, reader clock steps, corrupted
+// EPCs minting phantom users, burst overload when a reader flushes a
+// backlog. WiFi/RSS respiration systems gate estimation on validated,
+// rate-limited input for the same reason (UbiBreathe; Catch a Breath).
+// Three stages live here:
+//
+//   producer thread(s)                       analysis thread
+//   ──────────────────                       ───────────────
+//   IngestQueue::push  ──▶ [bounded MPSC] ──▶ IngestFrontEnd::pump
+//                                              │ ReadValidator
+//                                              │   repair / quarantine /
+//                                              │   per-user LRU admission
+//                                              ▼
+//                                            RealtimePipeline::push
+//
+// - IngestQueue: bounded MPSC queue on common::RingBuffer decoupling the
+//   reader thread from analysis, with selectable backpressure (block,
+//   drop-oldest, per-tag coalesce) and shed/enqueue/latency counters
+//   (core/metrics LatencyStats).
+// - ReadValidator: repairs small timestamp regressions, rejects large
+//   ones, drops duplicate deliveries, quarantines malformed or unknown
+//   EPC decodes, and enforces a per-user admission cap with LRU
+//   eviction so adversarial streams cannot grow memory without bound.
+// - IngestFrontEnd: composes both in front of a RealtimePipeline and
+//   guarantees the pipeline only ever sees monotonic, validated reads.
+//
+// Everything is deterministic: time is stream time, never a wall clock.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+#include "core/metrics.hpp"
+#include "core/pipeline.hpp"
+#include "core/types.hpp"
+
+namespace tagbreathe::core {
+
+/// What the queue does when a producer pushes into a full buffer.
+enum class BackpressurePolicy : std::uint8_t {
+  /// Producer waits until the consumer drains (offline replay feeds;
+  /// never use on the reader pump thread). try_push reports WouldBlock.
+  Block = 0,
+  /// The oldest queued read is shed to admit the new one (live feeds:
+  /// newest data is worth the most).
+  DropOldest = 1,
+  /// The newest queued read of the same (user, tag, antenna) is
+  /// overwritten in place — per-tag coalescing keeps one fresh sample
+  /// per stream under overload; with no same-tag entry queued, falls
+  /// back to shedding the oldest.
+  Coalesce = 2,
+};
+inline constexpr std::size_t kBackpressurePolicyCount = 3;
+
+/// Total: unknown values name themselves instead of invoking UB.
+const char* backpressure_policy_name(BackpressurePolicy policy) noexcept;
+
+/// Outcome of one producer push.
+enum class EnqueueResult : std::uint8_t {
+  Enqueued = 0,       // appended, queue had room
+  DroppedOldest = 1,  // appended, oldest read shed
+  Coalesced = 2,      // overwrote a queued read of the same tag
+  WouldBlock = 3,     // Block policy + full queue on try_push
+  Closed = 4,         // queue closed, read refused
+};
+inline constexpr std::size_t kEnqueueResultCount = 5;
+const char* enqueue_result_name(EnqueueResult result) noexcept;
+
+/// Why a read was refused admission to the pipeline.
+enum class QuarantineReason : std::uint8_t {
+  MalformedEpc = 0,         // zero user or tag ID — not a monitoring EPC
+  UnknownUser = 1,          // EPC decodes to a user outside the roster
+  NonFiniteField = 2,       // NaN/Inf in a numeric field
+  TimestampRegression = 3,  // clock stepped back beyond repair
+  DuplicateRead = 4,        // identical delivery already admitted
+};
+inline constexpr std::size_t kQuarantineReasonCount = 5;
+const char* quarantine_reason_name(QuarantineReason reason) noexcept;
+
+struct IngestConfig {
+  /// Bounded queue depth (reads).
+  std::size_t queue_capacity = 4096;
+  BackpressurePolicy policy = BackpressurePolicy::DropOldest;
+  /// A timestamp at most this far behind the newest admitted read is
+  /// repaired (clamped forward); further behind is quarantined as a
+  /// regression. Covers reorder jitter and small reader clock steps.
+  double repair_skew_s = 0.25;
+  /// Two reads of one stream within this interval carrying the same
+  /// phase are one delivery duplicated in transit.
+  double duplicate_window_s = 1e-4;
+  /// Distinct users admitted at once; the least-recently-seen user is
+  /// evicted (and reported via take_evicted_users) when a new user
+  /// arrives at the cap. 0 = unlimited.
+  std::size_t max_users = 64;
+  /// Non-empty => only these user IDs are admitted; everything else is
+  /// quarantined as UnknownUser. Empty accepts any well-formed EPC.
+  std::vector<std::uint64_t> monitored_users;
+
+  /// Throws std::invalid_argument on nonsensical values.
+  void validate() const;
+};
+
+/// Queue-side counters (shed/enqueue/latency observability).
+struct IngestQueueCounters {
+  std::size_t enqueued = 0;        // reads accepted into the buffer
+  std::size_t shed_oldest = 0;     // reads evicted by DropOldest/Coalesce
+  std::size_t coalesced = 0;       // in-place same-tag overwrites
+  std::size_t would_block = 0;     // try_push refusals under Block
+  std::size_t blocked_pushes = 0;  // pushes that had to wait (Block)
+  std::size_t closed_rejects = 0;  // pushes after close()
+  std::size_t drained = 0;         // reads handed to the consumer
+  std::size_t peak_depth = 0;      // high-water mark of the buffer
+  /// Stream-time delay between enqueue and drain.
+  LatencyStats queue_delay;
+};
+
+/// Validator-side counters.
+struct ValidationCounters {
+  std::size_t admitted = 0;
+  std::size_t repaired_timestamps = 0;
+  std::size_t quarantined_total = 0;
+  std::size_t quarantined[kQuarantineReasonCount] = {};
+  std::size_t users_evicted = 0;
+};
+
+/// Bounded MPSC queue between read producers and the analysis thread.
+/// Producers may race; there must be exactly one consumer. All waiting
+/// uses stream-time-free primitives (condition variables), so the
+/// single-threaded deterministic harnesses can use it too — they just
+/// never block (DropOldest/Coalesce, or try_push).
+class IngestQueue {
+ public:
+  IngestQueue(std::size_t capacity, BackpressurePolicy policy);
+
+  /// Producer side. `now_s` is the producer's stream clock, used only
+  /// for latency accounting (defaults to the read's own timestamp).
+  /// Under Block policy push() waits for room; try_push() never waits.
+  EnqueueResult push(const TagRead& read, double now_s);
+  EnqueueResult push(const TagRead& read) { return push(read, read.time_s); }
+  EnqueueResult try_push(const TagRead& read, double now_s);
+  EnqueueResult try_push(const TagRead& read) {
+    return try_push(read, read.time_s);
+  }
+
+  /// Consumer side: moves everything currently queued into `out`
+  /// (appending) and returns the count. `now_s` stamps the drain time
+  /// for latency accounting.
+  std::size_t drain(std::vector<TagRead>& out, double now_s);
+
+  /// Wakes blocked producers; subsequent pushes return Closed.
+  void close();
+
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+  BackpressurePolicy policy() const noexcept { return policy_; }
+  bool closed() const;
+
+  /// Snapshot of the counters (taken under the queue lock).
+  IngestQueueCounters counters() const;
+
+ private:
+  struct Slot {
+    TagRead read;
+    double enqueued_at = 0.0;
+  };
+
+  EnqueueResult push_locked(const TagRead& read, double now_s);
+
+  const std::size_t capacity_;
+  const BackpressurePolicy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable room_;
+  common::RingBuffer<Slot> buffer_;
+  bool closed_ = false;
+  IngestQueueCounters counters_;
+};
+
+/// Stateful read validation & quarantine. Single-threaded (runs on the
+/// consumer side of the queue).
+class ReadValidator {
+ public:
+  explicit ReadValidator(IngestConfig config);
+
+  struct Verdict {
+    bool admitted = false;
+    bool repaired = false;  // timestamp clamped forward
+    QuarantineReason reason = QuarantineReason::MalformedEpc;
+  };
+
+  /// Judges one read, possibly repairing its timestamp in place.
+  Verdict admit(TagRead& read);
+
+  /// Users evicted by the admission cap since the last call; the caller
+  /// must propagate these to the pipeline (forget_user).
+  std::vector<std::uint64_t> take_evicted_users();
+
+  const ValidationCounters& counters() const noexcept { return counters_; }
+  /// Newest admitted timestamp (-inf before the first admission).
+  double last_admitted_s() const noexcept { return last_admitted_s_; }
+  std::size_t tracked_users() const noexcept { return lru_index_.size(); }
+
+ private:
+  struct StreamState {
+    double last_time_s = 0.0;
+    double last_phase_rad = 0.0;
+  };
+  struct LruKey {
+    std::uint64_t user_id;
+    std::uint32_t tag_id;
+    std::uint8_t antenna_id;
+    friend auto operator<=>(const LruKey&, const LruKey&) = default;
+  };
+
+  Verdict quarantine(QuarantineReason reason);
+  void touch_user(std::uint64_t user_id);
+
+  IngestConfig config_;
+  ValidationCounters counters_;
+  double last_admitted_s_;
+  std::map<LruKey, StreamState> streams_;
+  /// LRU order of admitted users, least-recent first.
+  std::list<std::uint64_t> lru_order_;
+  std::map<std::uint64_t, std::list<std::uint64_t>::iterator> lru_index_;
+  std::vector<std::uint64_t> pending_evictions_;
+};
+
+/// Queue + validator composed in front of a RealtimePipeline. Producers
+/// call offer() (any thread); the analysis thread calls pump() on its
+/// cadence. The pipeline underneath only ever sees validated reads with
+/// non-decreasing timestamps.
+class IngestFrontEnd {
+ public:
+  /// The pipeline must outlive the front-end.
+  IngestFrontEnd(IngestConfig config, RealtimePipeline& pipeline);
+
+  /// Producer side: non-blocking admission into the queue (the reader
+  /// pump must never stall behind analysis, so Block policy surfaces as
+  /// WouldBlock here — use queue().push for blocking replay feeds).
+  EnqueueResult offer(const TagRead& read, double now_s);
+  EnqueueResult offer(const TagRead& read) { return offer(read, read.time_s); }
+
+  /// Consumer side: drains the queue, validates every read, feeds the
+  /// survivors to the pipeline, applies admission evictions, and
+  /// advances the pipeline clock to `now_s`. Returns reads admitted.
+  std::size_t pump(double now_s);
+
+  IngestQueue& queue() noexcept { return queue_; }
+  const ReadValidator& validator() const noexcept { return validator_; }
+  const ValidationCounters& validation() const noexcept {
+    return validator_.counters();
+  }
+  IngestQueueCounters queue_counters() const { return queue_.counters(); }
+  RealtimePipeline& pipeline() noexcept { return pipeline_; }
+
+ private:
+  IngestQueue queue_;
+  ReadValidator validator_;
+  RealtimePipeline& pipeline_;
+  std::vector<TagRead> scratch_;
+};
+
+}  // namespace tagbreathe::core

@@ -6,6 +6,22 @@
 
 namespace tagbreathe::core {
 
+void LatencyStats::record(double seconds) noexcept {
+  ++samples;
+  total_s += seconds;
+  max_s = std::max(max_s, seconds);
+}
+
+double LatencyStats::mean_s() const noexcept {
+  return samples == 0 ? 0.0 : total_s / static_cast<double>(samples);
+}
+
+void LatencyStats::merge(const LatencyStats& other) noexcept {
+  samples += other.samples;
+  total_s += other.total_s;
+  max_s = std::max(max_s, other.max_s);
+}
+
 double breathing_rate_accuracy(double estimated_bpm,
                                double true_bpm) noexcept {
   if (true_bpm <= 0.0) return estimated_bpm == 0.0 ? 1.0 : 0.0;

@@ -1,10 +1,24 @@
-// Evaluation metrics (Sec. VI-B, Eq. 8).
+// Evaluation metrics (Sec. VI-B, Eq. 8) and runtime counter primitives
+// shared by the observability surfaces (ingest queue delay, etc.).
 #pragma once
 
 #include <cstdint>
 #include <span>
 
 namespace tagbreathe::core {
+
+/// Streaming latency accumulator: constant space, deterministic, cheap
+/// enough for per-read accounting. The ingest queue records the
+/// stream-time delay between enqueue and drain through one of these.
+struct LatencyStats {
+  std::uint64_t samples = 0;
+  double total_s = 0.0;
+  double max_s = 0.0;
+
+  void record(double seconds) noexcept;
+  double mean_s() const noexcept;
+  void merge(const LatencyStats& other) noexcept;
+};
 
 /// Eq. 8: accuracy = 1 − |R̂ − R| / R. Clamped to [0, 1] (a wildly wrong
 /// estimate cannot score below zero, matching how such plots are read).

@@ -1,11 +1,23 @@
 #include "core/monitor.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace tagbreathe::core {
 
 BreathMonitor::BreathMonitor(MonitorConfig config)
-    : config_(std::move(config)) {}
+    : config_(std::move(config)) {
+  // Sanitize the health thresholds rather than throwing: ablation
+  // configs legitimately push them around, but NaN or negative values
+  // would make every SignalHealth comparison silently false.
+  if (!std::isfinite(config_.stale_after_s) || config_.stale_after_s < 0.0)
+    config_.stale_after_s = 0.0;
+  if (!std::isfinite(config_.lost_after_s) || config_.lost_after_s < 0.0)
+    config_.lost_after_s = 0.0;
+  if (!std::isfinite(config_.min_coverage))
+    config_.min_coverage = 0.0;
+  config_.min_coverage = std::clamp(config_.min_coverage, 0.0, 1.0);
+}
 
 std::vector<UserAnalysis> BreathMonitor::analyze(
     std::span<const TagRead> reads) const {

@@ -1,24 +1,50 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace tagbreathe::core {
 
 const char* pipeline_event_name(PipelineEventKind kind) noexcept {
+  // Total over the underlying type: an out-of-range value (a corrupted
+  // byte reinterpreted as an event kind) names itself rather than
+  // falling off the switch.
   switch (kind) {
     case PipelineEventKind::RateUpdate: return "rate-update";
     case PipelineEventKind::ApneaAlert: return "apnea-alert";
     case PipelineEventKind::SignalLost: return "signal-lost";
     case PipelineEventKind::SignalRecovered: return "signal-recovered";
+    default: return "unknown-event";
   }
-  return "?";
+}
+
+void PipelineConfig::validate() const {
+  const auto bad = [](const std::string& what) {
+    throw std::invalid_argument("PipelineConfig: " + what);
+  };
+  if (!(window_s > 0.0) || !std::isfinite(window_s))
+    bad("window_s must be positive and finite");
+  if (!(update_period_s > 0.0) || !std::isfinite(update_period_s))
+    bad("update_period_s must be positive and finite");
+  if (warmup_s < 0.0 || !std::isfinite(warmup_s))
+    bad("warmup_s must be non-negative and finite");
+  if (warmup_s > window_s) bad("warmup_s must not exceed window_s");
+  if (apnea_silence_s < 0.0 || !std::isfinite(apnea_silence_s))
+    bad("apnea_silence_s must be non-negative and finite");
+  if (signal_loss_s < 0.0 || !std::isfinite(signal_loss_s))
+    bad("signal_loss_s must be non-negative and finite");
 }
 
 RealtimePipeline::RealtimePipeline(PipelineConfig config,
                                    EventCallback callback)
     : config_(config),
       callback_(std::move(callback)),
-      monitor_(config.monitor) {}
+      monitor_(config.monitor) {
+  config_.validate();
+  demux_.set_max_reads_per_stream(config_.max_reads_per_stream);
+}
 
 void RealtimePipeline::emit(const PipelineEvent& event) {
   if (callback_) callback_(event);
@@ -27,6 +53,12 @@ void RealtimePipeline::emit(const PipelineEvent& event) {
 SignalHealth RealtimePipeline::health(std::uint64_t user_id) const noexcept {
   const auto it = user_state_.find(user_id);
   return it == user_state_.end() ? SignalHealth::Lost : it->second.health;
+}
+
+void RealtimePipeline::forget_user(std::uint64_t user_id) {
+  user_state_.erase(user_id);
+  latest_.erase(user_id);
+  demux_.drop_user(user_id);
 }
 
 void RealtimePipeline::push(const TagRead& read) {
@@ -39,8 +71,22 @@ void RealtimePipeline::push(const TagRead& read) {
   // after a dropout, the pending updates must still see the silence
   // (registering the read first would erase the evidence of the outage).
   advance_to(read.time_s);
+  const std::uint64_t user = read.epc.user_id();
+  if (config_.max_users > 0 && !user_state_.contains(user) &&
+      user_state_.size() >= config_.max_users) {
+    // Admission cap reached: evict the least-recently-read user (ties
+    // break on the lowest ID — std::map iterates ascending — so the
+    // choice is deterministic).
+    auto victim = user_state_.begin();
+    for (auto it = user_state_.begin(); it != user_state_.end(); ++it) {
+      if (it->second.last_read_s < victim->second.last_read_s) victim = it;
+    }
+    const std::uint64_t evicted = victim->first;
+    forget_user(evicted);
+    ++users_evicted_;
+  }
   demux_.add(read);
-  auto& state = user_state_[read.epc.user_id()];
+  auto& state = user_state_[user];
   state.last_read_s = read.time_s;
 }
 

@@ -32,6 +32,21 @@ struct PipelineConfig {
   double apnea_silence_s = 10.0;
   /// No reads at all for this long => signal lost.
   double signal_loss_s = 5.0;
+  /// Admission control: at most this many users are tracked at once;
+  /// adding one more evicts the least-recently-read user (state, latest
+  /// analysis and buffered reads). Caps memory against adversarial or
+  /// corrupted EPC streams that mint new user IDs. 0 = unlimited.
+  std::size_t max_users = 0;
+  /// Per-(user, tag, antenna) cap on buffered reads, forwarded to the
+  /// demux (StreamDemux::set_max_reads_per_stream). 0 = unlimited.
+  std::size_t max_reads_per_stream = 0;
+
+  /// Throws std::invalid_argument on nonsensical values (non-positive
+  /// window or update period, negative warm-up, warm-up beyond the
+  /// window, negative alarm thresholds). RealtimePipeline validates on
+  /// construction so misconfiguration fails loudly instead of silently
+  /// emitting garbage.
+  void validate() const;
 };
 
 enum class PipelineEventKind : std::uint8_t {
@@ -80,6 +95,16 @@ class RealtimePipeline {
   /// Current signal condition of a user (Lost for unknown users).
   SignalHealth health(std::uint64_t user_id) const noexcept;
 
+  /// Drops every trace of one user: tracking state, latest analysis and
+  /// buffered reads. Admission layers call this when they evict a user.
+  void forget_user(std::uint64_t user_id);
+
+  /// Users currently tracked (bounded by config.max_users when set).
+  std::size_t tracked_users() const noexcept { return user_state_.size(); }
+
+  /// Users evicted by the max_users admission cap.
+  std::size_t users_evicted() const noexcept { return users_evicted_; }
+
   double now_s() const noexcept { return now_; }
 
  private:
@@ -106,6 +131,7 @@ class RealtimePipeline {
   };
   std::map<std::uint64_t, UserState> user_state_;
   std::map<std::uint64_t, UserAnalysis> latest_;
+  std::size_t users_evicted_ = 0;
 };
 
 }  // namespace tagbreathe::core

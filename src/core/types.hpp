@@ -8,6 +8,7 @@
 // reader feed would be.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -43,5 +44,15 @@ struct TagRead {
 };
 
 using ReadStream = std::vector<TagRead>;
+
+/// True when every numeric field of the read is finite. A corrupted
+/// decode can surface NaN/Inf in phase or timestamp; such a record must
+/// be quarantined before it reaches phase differencing (one NaN poisons
+/// the whole fused track of its window).
+inline bool read_is_finite(const TagRead& r) noexcept {
+  return std::isfinite(r.time_s) && std::isfinite(r.frequency_hz) &&
+         std::isfinite(r.rssi_dbm) && std::isfinite(r.phase_rad) &&
+         std::isfinite(r.doppler_hz);
+}
 
 }  // namespace tagbreathe::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/ingest.hpp"
+
 namespace tagbreathe::llrp {
 
 const char* session_state_name(SessionState state) noexcept {
@@ -23,6 +25,12 @@ SessionSupervisor::SessionSupervisor(SupervisorConfig config,
       channel_(channel),
       rng_(config.seed),
       backoff_(config.backoff_initial_s) {}
+
+void SessionSupervisor::route_reads_to(core::IngestQueue& queue) {
+  client_.set_read_callback([&queue](const core::TagRead& read) {
+    queue.try_push(read);
+  });
+}
 
 bool SessionSupervisor::transport_connected() const noexcept {
   return channel_ == nullptr || channel_->connected();

@@ -30,6 +30,10 @@
 #include "llrp/client.hpp"
 #include "llrp/fault_channel.hpp"
 
+namespace tagbreathe::core {
+class IngestQueue;
+}
+
 namespace tagbreathe::llrp {
 
 enum class SessionState : std::uint8_t {
@@ -99,6 +103,15 @@ class SessionSupervisor {
   /// Drives the state machine up to `now_s`: polls the client, probes
   /// liveness, dials/re-arms as needed. Call at the pump cadence.
   void advance_to(double now_s);
+
+  /// Routes every read the client decodes into a bounded ingest queue
+  /// (core/ingest.hpp) instead of a raw callback: the reader pump
+  /// thread enqueues without ever blocking (a full queue sheds per the
+  /// queue's backpressure policy; under Block it counts would-block),
+  /// and the analysis thread drains via IngestFrontEnd::pump. The
+  /// queue must outlive the supervised client. Replaces any callback
+  /// previously installed on the client.
+  void route_reads_to(core::IngestQueue& queue);
 
   SessionState state() const noexcept { return state_; }
   const SupervisorHealth& health() const noexcept { return health_; }
