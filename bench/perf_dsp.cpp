@@ -23,32 +23,96 @@ std::vector<double> noise_signal(std::size_t n, std::uint64_t seed = 3) {
   return x;
 }
 
-void BM_FftPow2(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
+std::vector<signal::cdouble> noise_complex(std::size_t n, std::uint64_t seed = 1) {
+  common::Rng rng(seed);
   std::vector<signal::cdouble> data(n);
-  common::Rng rng(1);
   for (auto& c : data) c = {rng.normal(), rng.normal()};
+  return data;
+}
+
+void BM_FftPow2(benchmark::State& state) {
+  // Legacy planless kernel alone: a forward/inverse round trip in place
+  // keeps the data bounded without a per-iteration vector copy polluting
+  // the timing (items/iteration = 2 transforms).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto data = noise_complex(n);
   for (auto _ : state) {
-    auto copy = data;
-    signal::fft_pow2(copy);
-    benchmark::DoNotOptimize(copy.data());
+    signal::fft_pow2(data, /*inverse=*/false);
+    signal::fft_pow2(data, /*inverse=*/true);
+    benchmark::DoNotOptimize(data.data());
   }
+  state.SetItemsProcessed(2 * state.iterations());
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_FftPow2)->RangeMultiplier(4)->Range(256, 16384)->Complexity();
 
+void BM_FftPow2Planned(benchmark::State& state) {
+  // Plan-based kernel alone: precomputed bit-reversal + twiddles,
+  // out-of-place into a warm buffer, zero steady-state allocation.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto data = noise_complex(n);
+  const auto plan = signal::FftPlan::get(n, signal::FftDirection::Forward);
+  signal::FftScratch scratch;
+  std::vector<signal::cdouble> out(n);
+  for (auto _ : state) {
+    plan->execute(data, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FftPow2Planned)->RangeMultiplier(4)->Range(256, 16384)->Complexity();
+
 void BM_FftBluestein(benchmark::State& state) {
-  // Non-power-of-two length exercises the chirp-z path.
+  // Non-power-of-two length exercises the chirp-z path; this is the
+  // planless one-shot shape (allocates the result each call).
   const auto n = static_cast<std::size_t>(state.range(0)) + 1;
-  std::vector<signal::cdouble> data(n);
-  common::Rng rng(1);
-  for (auto& c : data) c = {rng.normal(), rng.normal()};
+  const auto data = noise_complex(n);
   for (auto _ : state) {
     auto out = signal::fft(data);
     benchmark::DoNotOptimize(out.data());
   }
 }
 BENCHMARK(BM_FftBluestein)->RangeMultiplier(4)->Range(256, 16384);
+
+void BM_FftBluesteinPlanned(benchmark::State& state) {
+  // Chirp-z with the chirp and kernel spectrum precomputed in the plan
+  // and the convolution buffer reused from caller scratch.
+  const auto n = static_cast<std::size_t>(state.range(0)) + 1;
+  const auto data = noise_complex(n);
+  const auto plan = signal::FftPlan::get(n, signal::FftDirection::Forward);
+  signal::FftScratch scratch;
+  std::vector<signal::cdouble> out(n);
+  for (auto _ : state) {
+    plan->execute(data, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FftBluesteinPlanned)->RangeMultiplier(4)->Range(256, 16384);
+
+void BM_FftRealWiden(benchmark::State& state) {
+  // Real input through the full complex transform (widen + N-point FFT).
+  const auto x = noise_signal(static_cast<std::size_t>(state.range(0)));
+  std::vector<signal::cdouble> wide(x.size());
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < x.size(); ++i) wide[i] = {x[i], 0.0};
+    auto out = signal::fft(wide);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FftRealWiden)->Arg(600)->Arg(2400)->Arg(9600);
+
+void BM_FftRealPacked(benchmark::State& state) {
+  // Even/odd packing: one N/2-point transform plus untangling.
+  const auto x = noise_signal(static_cast<std::size_t>(state.range(0)));
+  signal::FftScratch scratch;
+  std::vector<signal::cdouble> out;
+  for (auto _ : state) {
+    signal::fft_real_into(x, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FftRealPacked)->Arg(600)->Arg(2400)->Arg(9600);
 
 void BM_FftLowpass(benchmark::State& state) {
   const auto x = noise_signal(static_cast<std::size_t>(state.range(0)));
@@ -58,6 +122,19 @@ void BM_FftLowpass(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FftLowpass)->Arg(600)->Arg(2400)->Arg(9600);
+
+void BM_FftLowpassPlanned(benchmark::State& state) {
+  // Same filter through the workspace variant the realtime engine uses:
+  // allocation-free once the workspace is warm.
+  const auto x = noise_signal(static_cast<std::size_t>(state.range(0)));
+  signal::FftWorkspace ws;
+  std::vector<double> y;
+  for (auto _ : state) {
+    signal::fft_lowpass_into(x, 20.0, 0.67, /*remove_dc=*/true, ws, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_FftLowpassPlanned)->Arg(600)->Arg(2400)->Arg(9600);
 
 void BM_FirFiltFilt(benchmark::State& state) {
   const auto x = noise_signal(static_cast<std::size_t>(state.range(0)));

@@ -3,9 +3,16 @@
 // live deployment — the paper's pipeline ran in realtime on a laptop).
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <memory>
 #include <thread>
 #include <vector>
 
+#include "common/units.hpp"
+#include "core/analysis_pool.hpp"
 #include "core/ingest.hpp"
 #include "core/monitor.hpp"
 #include "core/pipeline.hpp"
@@ -116,6 +123,127 @@ BENCHMARK(BM_IngestQueueThroughput)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// --- multi-user scaling: the parallel analysis engine -----------------------
+//
+// The canned radio simulation above is far too slow to populate 512
+// users, so these benches synthesise the demux contents directly: per
+// tag, an 8 Hz stream of phase samples breathing sinusoidally (the same
+// population shape the chaos soak uses). What is timed is exactly the
+// per-tick work the realtime engine fans out: analyze_user over every
+// user, Fig. 10 end to end.
+
+core::ReadStream synthetic_reads(std::size_t users, double duration_s) {
+  core::ReadStream reads;
+  reads.reserve(users * 2 * static_cast<std::size_t>(duration_s * 8.0));
+  for (double t = 0.0; t < duration_s; t += 0.125) {
+    for (std::size_t u = 1; u <= users; ++u) {
+      const double rate_hz = 0.15 + 0.1 * static_cast<double>(u % 5) / 5.0;
+      for (std::uint32_t tag = 1; tag <= 2; ++tag) {
+        core::TagRead r;
+        r.time_s = t + 0.01 * static_cast<double>(tag);
+        r.epc = rfid::Epc96::from_user_tag(u, tag);
+        r.antenna_id = 1;
+        r.frequency_hz = 920.625e6;
+        r.rssi_dbm = -55.0;
+        r.phase_rad = common::wrap_phase_2pi(
+            1.0 + 0.35 * std::sin(common::kTwoPi * rate_hz * t +
+                                  static_cast<double>(u + tag)));
+        reads.push_back(r);
+      }
+    }
+  }
+  return reads;
+}
+
+const core::StreamDemux& synthetic_demux(std::size_t users) {
+  static std::map<std::size_t, std::unique_ptr<core::StreamDemux>> cache;
+  auto& slot = cache[users];
+  if (!slot) {
+    slot = std::make_unique<core::StreamDemux>();
+    for (const auto& r : synthetic_reads(users, 35.0)) slot->add(r);
+  }
+  return *slot;
+}
+
+void BM_AnalysisFanout(benchmark::State& state) {
+  // One update tick of the analysis engine: analyze_user for every user
+  // over a 30 s window, fanned across an AnalysisPool. range(0) = users,
+  // range(1) = worker threads (0 = the serial engine).
+  const auto users = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const core::StreamDemux& demux = synthetic_demux(users);
+  core::BreathMonitor monitor;
+  std::unique_ptr<core::AnalysisPool> pool;
+  if (threads > 0) pool = std::make_unique<core::AnalysisPool>(threads);
+  std::vector<core::AnalysisScratch> scratch(pool ? pool->slots() : 1);
+  std::vector<core::UserAnalysis> results(users);
+  const auto analyse_one = [&](std::size_t i, std::size_t slot) {
+    results[i] = monitor.analyze_user(demux, static_cast<std::uint64_t>(i + 1),
+                                      5.0, 35.0, &scratch[slot]);
+  };
+  for (auto _ : state) {
+    if (pool) {
+      pool->run(users, analyse_one);
+    } else {
+      for (std::size_t i = 0; i < users; ++i) analyse_one(i, 0);
+    }
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.counters["users/s"] = benchmark::Counter(
+      static_cast<double>(users), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AnalysisFanout)
+    ->ArgNames({"users", "threads"})
+    ->ArgsProduct({{1, 8, 64, 512}, {0, 1, 2, 4}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_PipelineMultiUser(benchmark::State& state) {
+  // The whole realtime pipeline fed a 30 s multi-user stream: ingest,
+  // dirty-window bookkeeping, the parallel fan-out and the event state
+  // machine. range(0) = users, range(1) = analysis threads, range(2) =
+  // skip_clean_users.
+  const auto users = static_cast<std::size_t>(state.range(0));
+  const auto reads = synthetic_reads(users, 30.0);
+  for (auto _ : state) {
+    core::PipelineConfig cfg;
+    cfg.analysis_threads = static_cast<std::size_t>(state.range(1));
+    cfg.skip_clean_users = state.range(2) != 0;
+    core::RealtimePipeline pipeline(cfg, nullptr);
+    for (const auto& r : reads) pipeline.push(r);
+    benchmark::DoNotOptimize(pipeline.latest().size());
+  }
+  state.counters["reads/s"] = benchmark::Counter(
+      static_cast<double>(reads.size()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PipelineMultiUser)
+    ->ArgNames({"users", "threads", "skip"})
+    ->ArgsProduct({{8, 64}, {0, 2}, {0, 1}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: alongside the normal console output, mirror results as
+// JSON into BENCH_pipeline.json (override the path with the
+// TAGBREATHE_BENCH_JSON environment variable, or pass an explicit
+// --benchmark_out, which takes precedence) so CI and EXPERIMENTS.md
+// have a machine-readable scaling record. The defaults are injected as
+// argv flags so the stock runner handles the file output.
+int main(int argc, char** argv) {
+  const char* json_path = std::getenv("TAGBREATHE_BENCH_JSON");
+  std::string out_flag = std::string("--benchmark_out=") +
+                         (json_path != nullptr ? json_path : "BENCH_pipeline.json");
+  std::string format_flag = "--benchmark_out_format=json";
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  args.push_back(out_flag.data());
+  args.push_back(format_flag.data());
+  for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

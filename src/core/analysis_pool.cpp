@@ -1,0 +1,91 @@
+#include "core/analysis_pool.hpp"
+
+namespace tagbreathe::core {
+
+AnalysisPool::AnalysisPool(std::size_t threads) {
+  threads_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i + 1); });  // caller = 0
+}
+
+AnalysisPool::~AnalysisPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void AnalysisPool::work_through(
+    const std::function<void(std::size_t, std::size_t)>& job, std::size_t n,
+    std::size_t slot) {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    try {
+      job(i, slot);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void AnalysisPool::worker_loop(std::size_t slot) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t)>* job = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock,
+                     [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      job = job_;
+      n = batch_n_;
+    }
+    work_through(*job, n, slot);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--workers_active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void AnalysisPool::run(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& job) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    // Serial engine (or a batch too small to be worth waking anyone).
+    for (std::size_t i = 0; i < n; ++i) job(i, 0);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    batch_n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    workers_active_ = threads_.size();
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  work_through(job, n, /*slot=*/0);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return workers_active_ == 0; });
+  job_ = nullptr;
+  if (first_error_) {
+    const std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace tagbreathe::core

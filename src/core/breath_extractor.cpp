@@ -41,14 +41,17 @@ BreathExtractor::BreathExtractor(ExtractorConfig config) : config_(config) {
 }
 
 BreathSignal BreathExtractor::extract(
-    std::span<const signal::TimedSample> track,
-    double sample_rate_hz) const {
+    std::span<const signal::TimedSample> track, double sample_rate_hz,
+    signal::FftWorkspace* workspace) const {
   if (sample_rate_hz <= 0.0)
     throw std::invalid_argument("BreathExtractor: bad sample rate");
 
   BreathSignal out;
   out.sample_rate_hz = sample_rate_hz;
   if (track.size() < 4) return out;
+
+  signal::FftWorkspace local_ws;
+  signal::FftWorkspace& ws = workspace != nullptr ? *workspace : local_ws;
 
   std::vector<double> values;
   values.reserve(track.size());
@@ -67,8 +70,9 @@ BreathSignal BreathExtractor::extract(
     // coarse-low-passed track: the ACF pools the fundamental and its
     // harmonics at the true period and tolerates the track's mixed
     // white + random-walk noise far better than spectral peak-picking.
-    const std::vector<double> coarse = signal::fft_lowpass(
-        values, sample_rate_hz, config_.cutoff_hz, /*remove_dc=*/true);
+    std::vector<double> coarse;
+    signal::fft_lowpass_into(values, sample_rate_hz, config_.cutoff_hz,
+                             /*remove_dc=*/true, ws, coarse);
     const double f0 = signal::autocorrelation_fundamental(
         coarse, sample_rate_hz, floor_hz, config_.cutoff_hz);
     if (f0 > 0.0) {
@@ -85,11 +89,11 @@ BreathSignal BreathExtractor::extract(
   switch (config_.filter) {
     case FilterKind::FftLowpass: {
       if (band_lo > 0.0) {
-        filtered =
-            signal::fft_bandpass(values, sample_rate_hz, band_lo, band_hi);
+        signal::fft_bandpass_into(values, sample_rate_hz, band_lo, band_hi,
+                                  ws, filtered);
       } else {
-        filtered = signal::fft_lowpass(values, sample_rate_hz, band_hi,
-                                       /*remove_dc=*/true);
+        signal::fft_lowpass_into(values, sample_rate_hz, band_hi,
+                                 /*remove_dc=*/true, ws, filtered);
       }
       break;
     }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "signal/interpolate.hpp"
+#include "signal/spectrum.hpp"
 
 namespace tagbreathe::core {
 
@@ -64,9 +65,13 @@ class BreathExtractor {
   explicit BreathExtractor(ExtractorConfig config = {});
 
   /// `track` must be uniformly sampled at `sample_rate_hz` (the fusion
-  /// stage guarantees this).
+  /// stage guarantees this). `workspace` (optional) is the caller's
+  /// reusable FFT workspace: the realtime engine passes one per worker
+  /// so the filter's transforms run through cached plans without
+  /// per-call allocation; nullptr uses a local throwaway workspace.
   BreathSignal extract(std::span<const signal::TimedSample> track,
-                       double sample_rate_hz) const;
+                       double sample_rate_hz,
+                       signal::FftWorkspace* workspace = nullptr) const;
 
   const ExtractorConfig& config() const noexcept { return config_; }
 

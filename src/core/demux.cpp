@@ -43,6 +43,12 @@ void StreamDemux::add(const TagRead& read) {
   }
   stream.push_back(read);
   ++accepted_;
+  ++reads_seen_[user];
+}
+
+std::uint64_t StreamDemux::reads_seen(std::uint64_t user_id) const noexcept {
+  const auto it = reads_seen_.find(user_id);
+  return it == reads_seen_.end() ? 0 : it->second;
 }
 
 void StreamDemux::add(std::span<const TagRead> reads) {
@@ -94,6 +100,7 @@ std::vector<std::uint64_t> StreamDemux::users() const {
 
 void StreamDemux::clear() noexcept {
   streams_.clear();
+  reads_seen_.clear();
   accepted_ = 0;
   ignored_ = 0;
   shed_ = 0;
@@ -109,6 +116,7 @@ std::size_t StreamDemux::drop_user(std::uint64_t user_id) {
       ++it;
     }
   }
+  reads_seen_.erase(user_id);
   return released;
 }
 

@@ -61,6 +61,13 @@ class StreamDemux {
   /// User IDs with at least one stored read, ascending.
   std::vector<std::uint64_t> users() const;
 
+  /// Monotonic count of reads accepted for one user since construction
+  /// (window eviction does not rewind it). The pipeline's dirty-window
+  /// tracking compares this against the count recorded at the user's
+  /// last analysis: unchanged => no new data => the re-analysis can be
+  /// skipped. 0 for unknown users.
+  std::uint64_t reads_seen(std::uint64_t user_id) const noexcept;
+
   std::size_t total_reads() const noexcept { return accepted_ + ignored_; }
   std::size_t accepted_reads() const noexcept { return accepted_; }
   std::size_t ignored_reads() const noexcept { return ignored_; }
@@ -91,6 +98,7 @@ class StreamDemux {
   std::vector<std::uint64_t> monitored_users_;
   const TagRegistry* registry_ = nullptr;
   std::map<StreamKey, std::vector<TagRead>> streams_;
+  std::map<std::uint64_t, std::uint64_t> reads_seen_;
   std::size_t accepted_ = 0;
   std::size_t ignored_ = 0;
   std::size_t shed_ = 0;

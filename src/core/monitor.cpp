@@ -41,7 +41,8 @@ std::vector<UserAnalysis> BreathMonitor::analyze(
 
 UserAnalysis BreathMonitor::analyze_user(const StreamDemux& demux,
                                          std::uint64_t user_id, double t0,
-                                         double t1) const {
+                                         double t1,
+                                         AnalysisScratch* scratch) const {
   UserAnalysis out;
   out.user_id = user_id;
   out.window_s = std::max(t1 - t0, 0.0);
@@ -126,7 +127,8 @@ UserAnalysis BreathMonitor::analyze_user(const StreamDemux& demux,
 
   // Breath-signal extraction + rate estimation.
   const BreathExtractor extractor(config_.extractor);
-  out.breath = extractor.extract(out.fused_track, out.track_rate_hz);
+  out.breath = extractor.extract(out.fused_track, out.track_rate_hz,
+                                 scratch != nullptr ? &scratch->fft : nullptr);
 
   const ZeroCrossingRateEstimator estimator(config_.rate);
   out.rate = estimator.estimate(out.breath.samples);

@@ -21,6 +21,7 @@
 #include "core/phase_preprocess.hpp"
 #include "core/rate_estimator.hpp"
 #include "core/types.hpp"
+#include "signal/spectrum.hpp"
 
 namespace tagbreathe::core {
 
@@ -51,6 +52,14 @@ struct MonitorConfig {
   /// periods of the whole window while costing little coverage (a 4 s
   /// hole in a 30 s window keeps coverage at 0.87). <= 0 disables.
   double max_gap_for_ok_s = 3.0;
+};
+
+/// Per-worker scratch for the analysis hot path. The parallel engine
+/// keeps one per pool slot so the FFT filter runs through a warm,
+/// allocation-free workspace; passing nullptr makes analyze_user
+/// allocate a throwaway workspace (the legacy behaviour).
+struct AnalysisScratch {
+  signal::FftWorkspace fft;
 };
 
 /// Everything TagBreathe derives for one user from one window.
@@ -96,8 +105,12 @@ class BreathMonitor {
   std::vector<UserAnalysis> analyze(std::span<const TagRead> reads) const;
 
   /// Analyses one user from an already-demuxed window spanning [t0, t1].
+  /// Thread-safe: may run concurrently for different users over a demux
+  /// nobody is mutating. `scratch` (optional) carries the per-worker
+  /// FFT workspace reused across calls.
   UserAnalysis analyze_user(const StreamDemux& demux, std::uint64_t user_id,
-                            double t0, double t1) const;
+                            double t0, double t1,
+                            AnalysisScratch* scratch = nullptr) const;
 
   const MonitorConfig& config() const noexcept { return config_; }
 

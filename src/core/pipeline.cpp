@@ -35,6 +35,8 @@ void PipelineConfig::validate() const {
     bad("apnea_silence_s must be non-negative and finite");
   if (signal_loss_s < 0.0 || !std::isfinite(signal_loss_s))
     bad("signal_loss_s must be non-negative and finite");
+  if (analysis_threads > 256)
+    bad("analysis_threads must be <= 256 (0 = serial)");
 }
 
 RealtimePipeline::RealtimePipeline(PipelineConfig config,
@@ -44,6 +46,9 @@ RealtimePipeline::RealtimePipeline(PipelineConfig config,
       monitor_(config.monitor) {
   config_.validate();
   demux_.set_max_reads_per_stream(config_.max_reads_per_stream);
+  if (config_.analysis_threads > 0)
+    pool_ = std::make_unique<AnalysisPool>(config_.analysis_threads);
+  scratch_.resize(pool_ != nullptr ? pool_->slots() : 1);
 }
 
 void RealtimePipeline::emit(const PipelineEvent& event) {
@@ -58,6 +63,7 @@ SignalHealth RealtimePipeline::health(std::uint64_t user_id) const noexcept {
 void RealtimePipeline::forget_user(std::uint64_t user_id) {
   user_state_.erase(user_id);
   latest_.erase(user_id);
+  last_seen_reads_.erase(user_id);
   demux_.drop_user(user_id);
 }
 
@@ -105,12 +111,68 @@ void RealtimePipeline::update(double time_s) {
 
   if (time_s - start_ < config_.warmup_s) return;
 
-  for (std::uint64_t user : demux_.users()) {
+  const std::vector<std::uint64_t> users = demux_.users();
+  const std::size_t n_users = users.size();
+
+  // Phase 1 (serial): decide per user whether this tick needs a
+  // re-analysis. Lost users skip analysis as before; with dirty-window
+  // tracking enabled, users whose streams saw no new reads since their
+  // last analysis coast on the cached result. Both rules depend only on
+  // the data, never on thread count.
+  struct TickSlot {
+    bool lost_now = false;
+    bool analyse = false;
+    std::uint64_t reads_seen = 0;
+  };
+  std::vector<TickSlot> ticks(n_users);
+  std::vector<std::size_t> to_analyse;
+  to_analyse.reserve(n_users);
+  for (std::size_t i = 0; i < n_users; ++i) {
+    const std::uint64_t user = users[i];
+    UserState& state = user_state_[user];
+    TickSlot& tick = ticks[i];
+    tick.lost_now = state.last_read_s >= 0.0 &&
+                    time_s - state.last_read_s > config_.signal_loss_s;
+    if (tick.lost_now) continue;
+    tick.reads_seen = demux_.reads_seen(user);
+    tick.analyse = true;
+    if (config_.skip_clean_users) {
+      const auto seen = last_seen_reads_.find(user);
+      if (seen != last_seen_reads_.end() &&
+          seen->second == tick.reads_seen && latest_.contains(user)) {
+        tick.analyse = false;
+        ++analyses_skipped_;
+      }
+    }
+    if (tick.analyse) to_analyse.push_back(i);
+  }
+
+  // Phase 2 (parallel): the expensive Fig. 10 re-analysis, fanned out
+  // across the pool. Workers read the demux (const, nobody mutating)
+  // and write only their own result slot, so the fan-out is race-free;
+  // each slot carries its own scratch arena.
+  std::vector<UserAnalysis> results(n_users);
+  const auto analyse_one = [&](std::size_t j, std::size_t slot) {
+    const std::size_t i = to_analyse[j];
+    results[i] =
+        monitor_.analyze_user(demux_, users[i], t0, time_s, &scratch_[slot]);
+  };
+  if (pool_ != nullptr) {
+    pool_->run(to_analyse.size(), analyse_one);
+  } else {
+    for (std::size_t j = 0; j < to_analyse.size(); ++j) analyse_one(j, 0);
+  }
+  analyses_run_ += to_analyse.size();
+
+  // Phase 3 (serial, ascending user id): the event state machine,
+  // consuming the gathered results in user-id order so the event log is
+  // byte-identical to the serial engine's.
+  for (std::size_t i = 0; i < n_users; ++i) {
+    const std::uint64_t user = users[i];
     UserState& state = user_state_[user];
 
     // Signal-loss detection runs even when analysis cannot.
-    const bool lost_now = state.last_read_s >= 0.0 &&
-                          time_s - state.last_read_s > config_.signal_loss_s;
+    const bool lost_now = ticks[i].lost_now;
     if (lost_now && !state.lost) {
       state.lost = true;
       state.health = SignalHealth::Lost;
@@ -129,7 +191,9 @@ void RealtimePipeline::update(double time_s) {
       continue;
     }
 
-    UserAnalysis analysis = monitor_.analyze_user(demux_, user, t0, time_s);
+    UserAnalysis analysis =
+        ticks[i].analyse ? std::move(results[i]) : latest_[user];
+    if (ticks[i].analyse) last_seen_reads_[user] = ticks[i].reads_seen;
     state.health = analysis.health;
     if (!analysis.rate.crossings.empty())
       state.last_crossing_s = analysis.rate.crossings.back().time_s;

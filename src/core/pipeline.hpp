@@ -12,9 +12,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "core/analysis_pool.hpp"
 #include "core/demux.hpp"
 #include "core/monitor.hpp"
 
@@ -40,6 +42,19 @@ struct PipelineConfig {
   /// Per-(user, tag, antenna) cap on buffered reads, forwarded to the
   /// demux (StreamDemux::set_max_reads_per_stream). 0 = unlimited.
   std::size_t max_reads_per_stream = 0;
+  /// Worker threads for the per-user analysis fan-out each update tick.
+  /// 0 = serial in the caller's thread (the legacy engine, default).
+  /// N > 0 spawns a fixed AnalysisPool of N threads; results are
+  /// gathered and emitted in user-id order, so the event stream is
+  /// byte-identical to the serial engine's.
+  std::size_t analysis_threads = 0;
+  /// Dirty-window tracking: skip re-analysis of users whose streams
+  /// received no new reads since their last analysis; they coast on the
+  /// cached UserAnalysis (rate/health frozen) until data resumes or the
+  /// signal-loss detector fires. Purely data-dependent, so determinism
+  /// across thread counts is unaffected. Default off: the legacy engine
+  /// re-analyses every user every tick.
+  bool skip_clean_users = false;
 
   /// Throws std::invalid_argument on nonsensical values (non-positive
   /// window or update period, negative warm-up, warm-up beyond the
@@ -105,6 +120,10 @@ class RealtimePipeline {
   /// Users evicted by the max_users admission cap.
   std::size_t users_evicted() const noexcept { return users_evicted_; }
 
+  /// Per-user re-analyses executed / skipped by dirty-window tracking.
+  std::size_t analyses_run() const noexcept { return analyses_run_; }
+  std::size_t analyses_skipped() const noexcept { return analyses_skipped_; }
+
   double now_s() const noexcept { return now_; }
 
  private:
@@ -132,6 +151,16 @@ class RealtimePipeline {
   std::map<std::uint64_t, UserState> user_state_;
   std::map<std::uint64_t, UserAnalysis> latest_;
   std::size_t users_evicted_ = 0;
+
+  /// Parallel analysis engine (null when analysis_threads == 0) and the
+  /// per-slot scratch arenas (slot 0 = the pipeline's own thread).
+  std::unique_ptr<AnalysisPool> pool_;
+  std::vector<AnalysisScratch> scratch_;
+  /// Dirty-window tracking: demux read count at each user's last
+  /// analysis (see StreamDemux::reads_seen).
+  std::map<std::uint64_t, std::uint64_t> last_seen_reads_;
+  std::size_t analyses_run_ = 0;
+  std::size_t analyses_skipped_ = 0;
 };
 
 }  // namespace tagbreathe::core

@@ -1,7 +1,11 @@
 #include "signal/fft.hpp"
 
 #include <cmath>
+#include <limits>
+#include <map>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 #include "common/units.hpp"
 
@@ -10,7 +14,12 @@ namespace tagbreathe::signal {
 using tagbreathe::common::kPi;
 using tagbreathe::common::kTwoPi;
 
-std::size_t next_pow2(std::size_t n) noexcept {
+std::size_t next_pow2(std::size_t n) {
+  if (n <= 1) return 1;  // next_pow2(0) == 1 by contract (trivial size)
+  constexpr std::size_t kMaxPow2 =
+      (std::numeric_limits<std::size_t>::max() >> 1) + 1;
+  if (n > kMaxPow2)
+    throw std::overflow_error("next_pow2: result not representable");
   std::size_t p = 1;
   while (p < n) p <<= 1;
   return p;
@@ -52,76 +61,348 @@ void fft_pow2(std::vector<cdouble>& data, bool inverse) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// FftPlan
+
 namespace {
 
-/// Bluestein's algorithm: expresses an N-point DFT as a convolution, which
-/// is evaluated with a power-of-two FFT of size >= 2N-1.
-std::vector<cdouble> bluestein(std::span<const cdouble> input, bool inverse) {
-  const std::size_t n = input.size();
-  const double sign = inverse ? 1.0 : -1.0;
+// Beyond this many distinct (size, direction) plans the cache stops
+// retaining new ones (they are built per call instead). The realtime
+// engine cycles through a handful of window sizes; the bound only
+// guards against pathological workloads with unbounded size diversity.
+constexpr std::size_t kMaxCachedPlans = 128;
 
-  // Chirp: w_k = exp(sign * i * pi * k^2 / n). Compute k^2 mod 2n to keep
-  // the angle argument small and precise for large k.
-  std::vector<cdouble> chirp(n);
+using PlanKey = std::pair<std::size_t, std::uint8_t>;
+
+std::mutex& plan_cache_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<PlanKey, std::shared_ptr<const FftPlan>>& plan_cache() {
+  static std::map<PlanKey, std::shared_ptr<const FftPlan>> cache;
+  return cache;
+}
+
+}  // namespace
+
+FftPlan::FftPlan(std::size_t n, FftDirection dir) : n_(n), dir_(dir) {
+  if (n == 0) throw std::invalid_argument("FftPlan: size must be positive");
+  const double sign = dir == FftDirection::Inverse ? 1.0 : -1.0;
+
+  if (is_pow2(n)) {
+    // Bit-reversal permutation table.
+    rev_.resize(n);
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+      std::size_t bit = n >> 1;
+      for (; j & bit; bit >>= 1) j ^= bit;
+      j ^= bit;
+      rev_[i] = static_cast<std::uint32_t>(j);
+    }
+    // Per-stage twiddles, flattened: stage len has len/2 entries, so the
+    // total across len = 2, 4, ..., n is n - 1. Direct cos/sin per entry
+    // (no incremental rotation => no accumulated rounding).
+    twiddles_.reserve(n - 1);
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const double base = sign * kTwoPi / static_cast<double>(len);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const double angle = base * static_cast<double>(k);
+        twiddles_.emplace_back(std::cos(angle), std::sin(angle));
+      }
+    }
+    return;
+  }
+
+  // Bluestein: chirp w_k = exp(sign * i * pi * k^2 / n), with k^2 mod 2n
+  // to keep the angle argument small and precise for large k.
+  chirp_.resize(n);
   for (std::size_t k = 0; k < n; ++k) {
     const std::size_t k2 = (k * k) % (2 * n);
     const double angle = sign * kPi * static_cast<double>(k2) / static_cast<double>(n);
-    chirp[k] = cdouble(std::cos(angle), std::sin(angle));
+    chirp_[k] = cdouble(std::cos(angle), std::sin(angle));
   }
 
-  const std::size_t m = next_pow2(2 * n - 1);
-  std::vector<cdouble> a(m, cdouble(0.0, 0.0));
-  std::vector<cdouble> b(m, cdouble(0.0, 0.0));
-  for (std::size_t k = 0; k < n; ++k) a[k] = input[k] * chirp[k];
+  m_ = next_pow2(2 * n - 1);
+  fwd_m_ = FftPlan::get(m_, FftDirection::Forward);
+  inv_m_ = FftPlan::get(m_, FftDirection::Inverse);
+
+  // Kernel spectrum, computed once per plan: b[k] = conj(chirp[k]) laid
+  // out circularly, then FFT'd with the inner forward plan.
+  kernel_fft_.assign(m_, cdouble(0.0, 0.0));
   for (std::size_t k = 0; k < n; ++k) {
-    b[k] = std::conj(chirp[k]);
-    if (k != 0) b[m - k] = std::conj(chirp[k]);
+    kernel_fft_[k] = std::conj(chirp_[k]);
+    if (k != 0) kernel_fft_[m_ - k] = std::conj(chirp_[k]);
   }
-
-  fft_pow2(a);
-  fft_pow2(b);
-  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
-  fft_pow2(a, /*inverse=*/true);
-
-  std::vector<cdouble> out(n);
-  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * chirp[k];
-  if (inverse) {
-    const double scale = 1.0 / static_cast<double>(n);
-    for (auto& x : out) x *= scale;
-  }
-  return out;
+  FftScratch scratch;
+  fwd_m_->execute(kernel_fft_, scratch);
 }
 
-std::vector<cdouble> transform(std::span<const cdouble> input, bool inverse) {
-  if (input.empty()) return {};
-  if (is_pow2(input.size())) {
-    std::vector<cdouble> data(input.begin(), input.end());
-    fft_pow2(data, inverse);
-    return data;
+void FftPlan::run_pow2(std::span<cdouble> data) const {
+  // Hot loops index through a raw pointer: GCC compiles repeated
+  // span::operator[] here several times slower than pointer arithmetic
+  // (measured ~4x on the butterfly loop at -O2).
+  const std::size_t n = n_;
+  cdouble* const d = data.data();
+  const std::uint32_t* const rev = rev_.data();
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = rev[i];
+    if (i < j) std::swap(d[i], d[j]);
   }
-  return bluestein(input, inverse);
+  const cdouble* tw = twiddles_.data();
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const cdouble u = d[i + k];
+        const cdouble v = d[i + k + half] * tw[k];
+        d[i + k] = u + v;
+        d[i + k + half] = u - v;
+      }
+    }
+    tw += half;
+  }
+  if (dir_ == FftDirection::Inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) d[i] *= scale;
+  }
+}
+
+void FftPlan::execute(std::span<const cdouble> in, std::span<cdouble> out,
+                      FftScratch& scratch) const {
+  if (in.size() != n_ || out.size() != n_)
+    throw std::invalid_argument("FftPlan::execute: span size mismatch");
+  if (n_ == 1) {
+    out[0] = in[0];
+    return;
+  }
+
+  if (chirp_.empty()) {
+    if (out.data() != in.data())
+      std::copy(in.begin(), in.end(), out.begin());
+    run_pow2(out);
+    return;
+  }
+
+  // Bluestein via the precomputed kernel spectrum: only one forward and
+  // one inverse inner transform per call (the legacy one-shot path paid
+  // for a second forward FFT of the kernel every time). Raw pointers in
+  // the element loops — see run_pow2.
+  std::vector<cdouble>& a = scratch.a;
+  a.assign(m_, cdouble(0.0, 0.0));
+  cdouble* const ap = a.data();
+  const cdouble* const ip = in.data();
+  cdouble* const op = out.data();
+  const cdouble* const chirp = chirp_.data();
+  const cdouble* const kernel = kernel_fft_.data();
+  for (std::size_t k = 0; k < n_; ++k) ap[k] = ip[k] * chirp[k];
+  fwd_m_->execute(a, scratch);  // pow2: scratch unused, in-place
+  for (std::size_t k = 0; k < m_; ++k) ap[k] *= kernel[k];
+  inv_m_->execute(a, scratch);  // includes the 1/m scale
+  for (std::size_t k = 0; k < n_; ++k) op[k] = ap[k] * chirp[k];
+  if (dir_ == FftDirection::Inverse) {
+    const double scale = 1.0 / static_cast<double>(n_);
+    for (std::size_t k = 0; k < n_; ++k) op[k] *= scale;
+  }
+}
+
+std::shared_ptr<const FftPlan> FftPlan::get(std::size_t n, FftDirection dir) {
+  const PlanKey key{n, static_cast<std::uint8_t>(dir)};
+  {
+    std::lock_guard<std::mutex> lock(plan_cache_mutex());
+    const auto it = plan_cache().find(key);
+    if (it != plan_cache().end()) return it->second;
+  }
+  // Build outside the lock: Bluestein construction recursively fetches
+  // the inner pow2 plans, and plan building is idempotent, so a racing
+  // duplicate build is wasted work at worst.
+  std::shared_ptr<const FftPlan> plan(new FftPlan(n, dir));
+  std::lock_guard<std::mutex> lock(plan_cache_mutex());
+  auto& cache = plan_cache();
+  const auto it = cache.find(key);
+  if (it != cache.end()) return it->second;  // another thread won the race
+  if (cache.size() < kMaxCachedPlans) cache.emplace(key, plan);
+  return plan;
+}
+
+std::size_t FftPlan::cache_size() {
+  std::lock_guard<std::mutex> lock(plan_cache_mutex());
+  return plan_cache().size();
+}
+
+void FftPlan::clear_cache() {
+  std::lock_guard<std::mutex> lock(plan_cache_mutex());
+  plan_cache().clear();
+}
+
+// ---------------------------------------------------------------------------
+// RealFftPlan
+
+namespace {
+
+std::mutex& real_plan_cache_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::size_t, std::shared_ptr<const RealFftPlan>>& real_plan_cache() {
+  static std::map<std::size_t, std::shared_ptr<const RealFftPlan>> cache;
+  return cache;
+}
+
+}  // namespace
+
+RealFftPlan::RealFftPlan(std::size_t n) : n_(n) {
+  if (n < 2 || n % 2 != 0)
+    throw std::invalid_argument("RealFftPlan: size must be even and >= 2");
+  half_ = FftPlan::get(n / 2, FftDirection::Forward);
+  // Packing twiddles exp(-2*pi*i*k/N) for k in [0, N/2].
+  twiddles_.resize(n / 2 + 1);
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    const double angle = -kTwoPi * static_cast<double>(k) / static_cast<double>(n);
+    twiddles_[k] = cdouble(std::cos(angle), std::sin(angle));
+  }
+}
+
+void RealFftPlan::execute(std::span<const double> in, std::span<cdouble> out,
+                          FftScratch& scratch) const {
+  if (in.size() != n_ || out.size() != n_)
+    throw std::invalid_argument("RealFftPlan::execute: span size mismatch");
+  const std::size_t h = n_ / 2;
+
+  // Pack adjacent reals into complex samples: z[k] = x[2k] + i*x[2k+1].
+  // Raw pointers in the element loops — see FftPlan::run_pow2.
+  std::vector<cdouble>& zv = scratch.b;
+  zv.resize(h);
+  cdouble* const z = zv.data();
+  const double* const x = in.data();
+  for (std::size_t k = 0; k < h; ++k)
+    z[k] = cdouble(x[2 * k], x[2 * k + 1]);
+  half_->execute(zv, scratch);
+
+  // Untangle the even/odd spectra and recombine:
+  //   Fe[k] = (Z[k] + conj(Z[h-k])) / 2        (spectrum of x_even)
+  //   Fo[k] = (Z[k] - conj(Z[h-k])) / (2i)     (spectrum of x_odd)
+  //   X[k]  = Fe[k] + W^k * Fo[k],  W = exp(-2*pi*i/N)
+  // for k in [0, h] with Z[h] == Z[0], then conjugate symmetry fills
+  // the upper half.
+  cdouble* const o = out.data();
+  const cdouble* const tw = twiddles_.data();
+  for (std::size_t k = 0; k <= h; ++k) {
+    const cdouble zk = k == h ? z[0] : z[k];
+    const cdouble zc = std::conj(k == 0 ? z[0] : z[h - k]);
+    const cdouble fe = 0.5 * (zk + zc);
+    const cdouble fo = cdouble(0.0, -0.5) * (zk - zc);
+    const cdouble xk = fe + tw[k] * fo;
+    if (k == h) {
+      o[h] = xk;
+    } else if (k == 0) {
+      o[0] = xk;
+    } else {
+      o[k] = xk;
+      o[n_ - k] = std::conj(xk);
+    }
+  }
+}
+
+std::shared_ptr<const RealFftPlan> RealFftPlan::get(std::size_t n) {
+  {
+    std::lock_guard<std::mutex> lock(real_plan_cache_mutex());
+    const auto it = real_plan_cache().find(n);
+    if (it != real_plan_cache().end()) return it->second;
+  }
+  std::shared_ptr<const RealFftPlan> plan(new RealFftPlan(n));
+  std::lock_guard<std::mutex> lock(real_plan_cache_mutex());
+  auto& cache = real_plan_cache();
+  const auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  if (cache.size() < kMaxCachedPlans) cache.emplace(n, plan);
+  return plan;
+}
+
+std::size_t RealFftPlan::cache_size() {
+  std::lock_guard<std::mutex> lock(real_plan_cache_mutex());
+  return real_plan_cache().size();
+}
+
+void RealFftPlan::clear_cache() {
+  std::lock_guard<std::mutex> lock(real_plan_cache_mutex());
+  real_plan_cache().clear();
+}
+
+// ---------------------------------------------------------------------------
+// One-shot helpers (delegate to the cached plans)
+
+namespace {
+
+std::vector<cdouble> transform(std::span<const cdouble> input,
+                               FftDirection dir) {
+  if (input.empty()) return {};
+  const auto plan = FftPlan::get(input.size(), dir);
+  std::vector<cdouble> out(input.size());
+  FftScratch scratch;
+  plan->execute(input, out, scratch);
+  return out;
 }
 
 }  // namespace
 
 std::vector<cdouble> fft(std::span<const cdouble> input) {
-  return transform(input, /*inverse=*/false);
+  return transform(input, FftDirection::Forward);
 }
 
 std::vector<cdouble> ifft(std::span<const cdouble> input) {
-  return transform(input, /*inverse=*/true);
+  return transform(input, FftDirection::Inverse);
+}
+
+void fft_real_into(std::span<const double> input, std::vector<cdouble>& out,
+                   FftScratch& scratch) {
+  const std::size_t n = input.size();
+  out.resize(n);
+  if (n == 0) return;
+  if (n == 1) {
+    out[0] = cdouble(input[0], 0.0);
+    return;
+  }
+  if (n % 2 == 0) {
+    RealFftPlan::get(n)->execute(input, out, scratch);
+    return;
+  }
+  // Odd length: widen to complex and run the full plan. The widened
+  // input stages through scratch.b (the Bluestein path only uses
+  // scratch.a, so the buffers do not collide).
+  std::vector<cdouble>& wide = scratch.b;
+  wide.resize(n);
+  cdouble* const w = wide.data();
+  const double* const x = input.data();
+  for (std::size_t i = 0; i < n; ++i) w[i] = cdouble(x[i], 0.0);
+  FftPlan::get(n, FftDirection::Forward)->execute(wide, out, scratch);
 }
 
 std::vector<cdouble> fft_real(std::span<const double> input) {
-  std::vector<cdouble> data(input.size());
-  for (std::size_t i = 0; i < input.size(); ++i) data[i] = cdouble(input[i], 0.0);
-  return fft(data);
+  std::vector<cdouble> out;
+  FftScratch scratch;
+  fft_real_into(input, out, scratch);
+  return out;
+}
+
+void ifft_real_into(std::span<const cdouble> spectrum,
+                    std::vector<cdouble>& time, std::vector<double>& out,
+                    FftScratch& scratch) {
+  const std::size_t n = spectrum.size();
+  time.resize(n);
+  out.resize(n);
+  if (n == 0) return;
+  FftPlan::get(n, FftDirection::Inverse)->execute(spectrum, time, scratch);
+  const cdouble* const t = time.data();
+  double* const o = out.data();
+  for (std::size_t i = 0; i < n; ++i) o[i] = t[i].real();
 }
 
 std::vector<double> ifft_real(std::span<const cdouble> spectrum) {
-  const std::vector<cdouble> time = ifft(spectrum);
-  std::vector<double> out(time.size());
-  for (std::size_t i = 0; i < time.size(); ++i) out[i] = time[i].real();
+  std::vector<cdouble> time;
+  std::vector<double> out;
+  FftScratch scratch;
+  ifft_real_into(spectrum, time, out, scratch);
   return out;
 }
 

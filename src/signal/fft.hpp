@@ -5,10 +5,23 @@
 // provides an iterative radix-2 Cooley-Tukey transform for power-of-two
 // sizes and Bluestein's chirp-z algorithm for arbitrary sizes (experiment
 // windows are arbitrary lengths: 25 s at irregular read rates).
+//
+// Two API layers:
+//  - One-shot helpers (fft/ifft/fft_real/ifft_real): allocate their
+//    result, convenient for tests and offline analysis.
+//  - Plan-based (FftPlan / RealFftPlan + FftScratch): the realtime
+//    engine re-runs the same-size transform every update tick for every
+//    user, so bit-reversal tables, per-stage twiddles and the Bluestein
+//    chirp + kernel spectrum are precomputed once per (size, direction)
+//    and cached process-wide; with caller-owned scratch the steady-state
+//    transform performs no heap allocation. The one-shot helpers
+//    delegate to the cached plans.
 #pragma once
 
 #include <complex>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -16,31 +29,140 @@ namespace tagbreathe::signal {
 
 using cdouble = std::complex<double>;
 
-/// Smallest power of two >= n (n = 0 maps to 1).
-std::size_t next_pow2(std::size_t n) noexcept;
+/// Smallest power of two >= n. Contract: next_pow2(0) == next_pow2(1)
+/// == 1 (an empty transform rounds up to the trivial size); throws
+/// std::overflow_error when the result is not representable in size_t
+/// (n > 2^63 on 64-bit) instead of looping forever or wrapping.
+std::size_t next_pow2(std::size_t n);
 
 /// True if n is a nonzero power of two.
 bool is_pow2(std::size_t n) noexcept;
 
 /// In-place radix-2 DIT FFT. Requires data.size() to be a power of two.
 /// `inverse` applies the conjugate transform and the 1/N scale, so
-/// fft_pow2(x); fft_pow2(x, true) is the identity.
+/// fft_pow2(x); fft_pow2(x, true) is the identity. This is the legacy
+/// planless kernel (twiddles recomputed per call); the plan-based path
+/// below is preferred on hot paths.
 void fft_pow2(std::vector<cdouble>& data, bool inverse = false);
 
+enum class FftDirection : std::uint8_t { Forward = 0, Inverse = 1 };
+
+/// Caller-owned scratch for plan execution. Buffers grow to the plan's
+/// working-set size on first use and are reused afterwards, so repeated
+/// transforms of one size allocate nothing. One scratch per thread; a
+/// scratch may be shared across plans of different sizes (it keeps the
+/// high-water capacity).
+struct FftScratch {
+  std::vector<cdouble> a;  // Bluestein convolution buffer (size m)
+  std::vector<cdouble> b;  // staging: real packing / widening buffer
+};
+
+/// Precomputed transform plan for one (size, direction).
+///
+/// Power-of-two sizes store the bit-reversal permutation and per-stage
+/// twiddle tables; other sizes store the Bluestein chirp and the
+/// kernel's FFT (computed once), plus the two inner power-of-two plans.
+/// Plans are immutable after construction and safe to execute from any
+/// number of threads concurrently (each execution only touches the
+/// caller's scratch and output).
+class FftPlan {
+ public:
+  /// Cached lookup: returns the process-wide shared plan, building it on
+  /// first request. Thread-safe. The cache is capacity-bounded; beyond
+  /// the bound, plans are built per call and not retained.
+  static std::shared_ptr<const FftPlan> get(std::size_t n, FftDirection dir);
+
+  std::size_t size() const noexcept { return n_; }
+  FftDirection direction() const noexcept { return dir_; }
+  bool uses_bluestein() const noexcept { return !chirp_.empty(); }
+
+  /// Out-of-place transform of exactly size() samples. `out` may alias
+  /// `in` (the pow2 path then works fully in place). Allocation-free
+  /// once `scratch` has warmed up to this plan's working-set size.
+  void execute(std::span<const cdouble> in, std::span<cdouble> out,
+               FftScratch& scratch) const;
+
+  /// In-place convenience overload.
+  void execute(std::span<cdouble> data, FftScratch& scratch) const {
+    execute(data, data, scratch);
+  }
+
+  /// Cache introspection (tests / metrics).
+  static std::size_t cache_size();
+  static void clear_cache();
+
+ private:
+  FftPlan(std::size_t n, FftDirection dir);
+  void run_pow2(std::span<cdouble> data) const;
+
+  std::size_t n_ = 0;
+  FftDirection dir_ = FftDirection::Forward;
+  // Power-of-two path.
+  std::vector<std::uint32_t> rev_;   // bit-reversal permutation
+  std::vector<cdouble> twiddles_;    // stage tables (len 2,4,..,n), flattened
+  // Bluestein path (empty chirp_ => pow2 path).
+  std::vector<cdouble> chirp_;       // exp(sign*i*pi*k^2/n), size n
+  std::vector<cdouble> kernel_fft_;  // FFT of the chirp kernel, size m
+  std::size_t m_ = 0;                // inner pow2 convolution size
+  std::shared_ptr<const FftPlan> fwd_m_;  // forward plan of size m
+  std::shared_ptr<const FftPlan> inv_m_;  // inverse plan of size m
+};
+
+/// Plan for the forward DFT of a real signal of even length N via the
+/// packing trick: the N reals are packed into N/2 complex samples, one
+/// N/2-point complex FFT runs, and the halves are untangled with the
+/// precomputed packing twiddles — roughly halving the cost of the
+/// full-complex transform. Produces all N (conjugate-symmetric) bins.
+class RealFftPlan {
+ public:
+  /// n must be even and >= 2 (odd lengths fall back to the complex plan
+  /// inside fft_real_into). Cached and thread-safe like FftPlan::get.
+  static std::shared_ptr<const RealFftPlan> get(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// out.size() must be n. Allocation-free once scratch is warm.
+  void execute(std::span<const double> in, std::span<cdouble> out,
+               FftScratch& scratch) const;
+
+  static std::size_t cache_size();
+  static void clear_cache();
+
+ private:
+  explicit RealFftPlan(std::size_t n);
+
+  std::size_t n_ = 0;
+  std::shared_ptr<const FftPlan> half_;  // N/2-point forward plan
+  std::vector<cdouble> twiddles_;        // exp(-2*pi*i*k/N), k in [0, N/2]
+};
+
 /// Forward DFT of arbitrary length (radix-2 when possible, Bluestein
-/// otherwise). Returns a new vector of the same length.
+/// otherwise). Returns a new vector of the same length. Delegates to
+/// the cached plan for the size.
 std::vector<cdouble> fft(std::span<const cdouble> input);
 
 /// Inverse DFT (1/N-scaled) of arbitrary length.
 std::vector<cdouble> ifft(std::span<const cdouble> input);
 
 /// Forward DFT of a real signal; returns all N complex bins (conjugate
-/// symmetric).
+/// symmetric). Even lengths use the half-size packing trick.
 std::vector<cdouble> fft_real(std::span<const double> input);
+
+/// Plan-based fft_real into a caller buffer (resized to input.size());
+/// allocation-free once `scratch` and `out` are warm.
+void fft_real_into(std::span<const double> input, std::vector<cdouble>& out,
+                   FftScratch& scratch);
 
 /// Real part of the inverse DFT — for conjugate-symmetric spectra of real
 /// signals (the imaginary residue is numerical noise and is dropped).
 std::vector<double> ifft_real(std::span<const cdouble> spectrum);
+
+/// Plan-based ifft_real into caller buffers: `time` holds the complex
+/// inverse transform, `out` its real part (both resized to
+/// spectrum.size()). Allocation-free once warm.
+void ifft_real_into(std::span<const cdouble> spectrum,
+                    std::vector<cdouble>& time, std::vector<double>& out,
+                    FftScratch& scratch);
 
 /// Magnitude of each bin.
 std::vector<double> magnitude(std::span<const cdouble> spectrum);

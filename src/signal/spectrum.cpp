@@ -333,40 +333,59 @@ double peak_search(const std::vector<SpectrumBin>& bins, double f_lo,
 
 namespace {
 
-std::vector<double> fft_bandlimit(std::span<const double> x,
-                                  double sample_rate_hz, double f_lo,
-                                  double f_hi) {
+void fft_bandlimit_into(std::span<const double> x, double sample_rate_hz,
+                        double f_lo, double f_hi, FftWorkspace& ws,
+                        std::vector<double>& out) {
   if (sample_rate_hz <= 0.0)
     throw std::invalid_argument("fft filter: sample rate must be positive");
-  if (x.empty()) return {};
-  std::vector<cdouble> spectrum = fft_real(x);
-  const std::size_t n = spectrum.size();
+  if (x.empty()) {
+    out.clear();
+    return;
+  }
+  fft_real_into(x, ws.spectrum, ws.scratch);
+  const std::size_t n = ws.spectrum.size();
   for (std::size_t k = 0; k < n; ++k) {
     const double f = std::abs(bin_frequency(k, n, sample_rate_hz));
-    if (f < f_lo || f > f_hi) spectrum[k] = cdouble(0.0, 0.0);
+    if (f < f_lo || f > f_hi) ws.spectrum[k] = cdouble(0.0, 0.0);
   }
-  std::vector<double> y = ifft_real(spectrum);
-  y.resize(x.size());
-  return y;
+  ifft_real_into(ws.spectrum, ws.time, out, ws.scratch);
 }
 
 }  // namespace
 
-std::vector<double> fft_lowpass(std::span<const double> x,
-                                double sample_rate_hz, double cutoff_hz,
-                                bool remove_dc) {
+void fft_lowpass_into(std::span<const double> x, double sample_rate_hz,
+                      double cutoff_hz, bool remove_dc, FftWorkspace& ws,
+                      std::vector<double>& out) {
   if (cutoff_hz <= 0.0)
     throw std::invalid_argument("fft_lowpass: cutoff must be positive");
   const double f_lo = remove_dc ? 1e-12 : 0.0;
-  return fft_bandlimit(x, sample_rate_hz, f_lo, cutoff_hz);
+  fft_bandlimit_into(x, sample_rate_hz, f_lo, cutoff_hz, ws, out);
+}
+
+void fft_bandpass_into(std::span<const double> x, double sample_rate_hz,
+                       double f_lo, double f_hi, FftWorkspace& ws,
+                       std::vector<double>& out) {
+  if (f_lo < 0.0 || f_hi <= f_lo)
+    throw std::invalid_argument("fft_bandpass: need 0 <= f_lo < f_hi");
+  fft_bandlimit_into(x, sample_rate_hz, f_lo, f_hi, ws, out);
+}
+
+std::vector<double> fft_lowpass(std::span<const double> x,
+                                double sample_rate_hz, double cutoff_hz,
+                                bool remove_dc) {
+  FftWorkspace ws;
+  std::vector<double> out;
+  fft_lowpass_into(x, sample_rate_hz, cutoff_hz, remove_dc, ws, out);
+  return out;
 }
 
 std::vector<double> fft_bandpass(std::span<const double> x,
                                  double sample_rate_hz, double f_lo,
                                  double f_hi) {
-  if (f_lo < 0.0 || f_hi <= f_lo)
-    throw std::invalid_argument("fft_bandpass: need 0 <= f_lo < f_hi");
-  return fft_bandlimit(x, sample_rate_hz, f_lo, f_hi);
+  FftWorkspace ws;
+  std::vector<double> out;
+  fft_bandpass_into(x, sample_rate_hz, f_lo, f_hi, ws, out);
+  return out;
 }
 
 double goertzel_power(std::span<const double> x, double sample_rate_hz,

@@ -6,9 +6,20 @@
 #include <span>
 #include <vector>
 
+#include "signal/fft.hpp"
 #include "signal/window.hpp"
 
 namespace tagbreathe::signal {
+
+/// Reusable buffers for the plan-based spectral filters. One workspace
+/// per thread; after the first call of a given size, repeated filtering
+/// through the same workspace performs no heap allocation (the analysis
+/// engine keeps one per worker).
+struct FftWorkspace {
+  FftScratch scratch;
+  std::vector<cdouble> spectrum;  // forward-transform bins
+  std::vector<cdouble> time;      // inverse-transform staging
+};
 
 /// One-sided power spectrum sample: frequency [Hz] and power.
 struct SpectrumBin {
@@ -107,6 +118,19 @@ std::vector<double> fft_lowpass(std::span<const double> x,
 std::vector<double> fft_bandpass(std::span<const double> x,
                                  double sample_rate_hz, double f_lo,
                                  double f_hi);
+
+/// Plan-based fft_lowpass into a caller buffer. `out` is resized to
+/// x.size(); steady-state calls (warm workspace, same window length)
+/// perform zero heap allocations. The one-shot overload above delegates
+/// here with a throwaway workspace.
+void fft_lowpass_into(std::span<const double> x, double sample_rate_hz,
+                      double cutoff_hz, bool remove_dc, FftWorkspace& ws,
+                      std::vector<double>& out);
+
+/// Plan-based fft_bandpass into a caller buffer (see fft_lowpass_into).
+void fft_bandpass_into(std::span<const double> x, double sample_rate_hz,
+                       double f_lo, double f_hi, FftWorkspace& ws,
+                       std::vector<double>& out);
 
 /// Goertzel algorithm: power of the single DFT bin nearest `freq_hz`.
 /// O(N) per frequency — cheaper than a full FFT when the pipeline only
