@@ -5,15 +5,20 @@
 // invariants. Exits non-zero on any violation, so it doubles as a soak
 // gate in CI or an endurance run on a workstation:
 //
-//   ./build/examples/chaos_soak [seed] [minutes] [users]
+//   ./build/examples/chaos_soak [seed] [minutes] [users] [durable_dir]
 //
 // Two runs with the same arguments print identical event statistics
-// (seeded determinism end to end).
+// (seeded determinism end to end). With a fourth argument the stream is
+// additionally journaled and snapshotted into that directory through
+// the DurableMonitor, and the journal/snapshot counters join the
+// summary — rerunning against a non-empty directory exercises a
+// graceful restart (snapshot load + journal tail replay) first.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "core/chaos.hpp"
+#include "core/recovery.hpp"
 
 using namespace tagbreathe;
 
@@ -23,6 +28,7 @@ int main(int argc, char** argv) {
   const double minutes = argc > 2 ? std::atof(argv[2]) : 10.0;
   const std::size_t users =
       argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 3;
+  const char* durable_dir = argc > 4 ? argv[4] : nullptr;
 
   core::SoakConfig cfg;
   cfg.n_users = users;
@@ -35,9 +41,19 @@ int main(int argc, char** argv) {
   cfg.ingest.queue_capacity = 1024;
   cfg.chaos = core::ChaosConfig::composite(seed);
 
-  std::printf("chaos soak: seed=%llu duration=%.0fs users=%zu\n",
-              static_cast<unsigned long long>(seed), cfg.duration_s, users);
-  const core::SoakReport report = core::run_soak(cfg);
+  std::printf("chaos soak: seed=%llu duration=%.0fs users=%zu%s%s\n",
+              static_cast<unsigned long long>(seed), cfg.duration_s, users,
+              durable_dir != nullptr ? " durable_dir=" : "",
+              durable_dir != nullptr ? durable_dir : "");
+  core::SoakReport report;
+  if (durable_dir != nullptr) {
+    core::DurabilityConfig durability;
+    durability.directory = durable_dir;
+    durability.snapshot_period_s = 30.0;
+    report = core::run_durable_soak(cfg, durability);
+  } else {
+    report = core::run_soak(cfg);
+  }
 
   std::printf("\n-- chaos injected --\n");
   std::printf("clean reads        %zu\n", report.chaos.total_in);
@@ -80,6 +96,28 @@ int main(int argc, char** argv) {
               report.signal_recovered_events);
   std::printf("peak users         %zu\n", report.peak_tracked_users);
   std::printf("last event         t=%.3fs\n", report.last_event_time_s);
+
+  if (durable_dir != nullptr) {
+    const core::DurabilityCounters& d = report.durability;
+    std::printf("\n-- durability --\n");
+    std::printf("journal appended   %zu (%zu commits, %zu bytes)\n",
+                static_cast<std::size_t>(d.journal_records_appended),
+                static_cast<std::size_t>(d.journal_commits),
+                static_cast<std::size_t>(d.journal_bytes_written));
+    std::printf("segments           %zu created / %zu pruned\n",
+                static_cast<std::size_t>(d.journal_segments_created),
+                static_cast<std::size_t>(d.journal_segments_pruned));
+    std::printf("replayed on start  %zu (+%zu re-quarantined)\n",
+                static_cast<std::size_t>(d.replay_records),
+                static_cast<std::size_t>(d.replay_quarantined));
+    std::printf("corrupt skipped    %zu records, %zu torn tails\n",
+                static_cast<std::size_t>(d.journal_records_corrupt),
+                static_cast<std::size_t>(d.journal_truncated_tails));
+    std::printf("snapshots          %zu written / %zu loaded / %zu rejected\n",
+                static_cast<std::size_t>(d.snapshots_written),
+                static_cast<std::size_t>(d.snapshots_loaded),
+                static_cast<std::size_t>(d.snapshots_rejected));
+  }
 
   if (!report.ok()) {
     std::printf("\nINVARIANT VIOLATIONS (%zu):\n", report.violations.size());

@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the frame
+// checksum of the durability layer (core/journal, core/snapshot). One
+// shared implementation so a journal record written today stays
+// verifiable by any future reader.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tagbreathe::common {
+
+/// One-shot CRC-32 of a byte range (standard init 0xFFFFFFFF and final
+/// xor, so results match zlib's crc32 / the PNG and gzip CRC).
+std::uint32_t crc32(const void* data, std::size_t size) noexcept;
+
+/// Incremental form: feed the previous return value back as `crc` to
+/// extend the checksum over a further range. Start from crc32_init().
+std::uint32_t crc32_init() noexcept;
+std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                           std::size_t size) noexcept;
+std::uint32_t crc32_final(std::uint32_t crc) noexcept;
+
+}  // namespace tagbreathe::common

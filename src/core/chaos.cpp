@@ -173,6 +173,106 @@ void ChaosInjector::flush(std::vector<TagRead>& out) {
 // ---------------------------------------------------------------------------
 // Soak harness
 
+std::string format_soak_event(const PipelineEvent& event) {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "t=%010.3f user=%03llu %s rate=%07.3f reliable=%d "
+                "health=%s",
+                event.time_s, static_cast<unsigned long long>(event.user_id),
+                pipeline_event_name(event.kind), event.rate_bpm,
+                event.reliable ? 1 : 0, signal_health_name(event.health));
+  return std::string(line);
+}
+
+ReadStream make_soak_population(const SoakConfig& config) {
+  // One read stream per (user, tag) on a staggered grid; the phase is a
+  // breathing sinusoid on top of a per-tag static offset, matching what
+  // the demux/preprocess layers expect from a real array.
+  const std::size_t total_tags = config.n_users * config.tags_per_user;
+  const double period = 1.0 / config.read_rate_hz;
+  ReadStream clean;
+  clean.reserve(static_cast<std::size_t>(config.duration_s *
+                                         config.read_rate_hz) *
+                    total_tags +
+                total_tags);
+  for (std::size_t u = 0; u < config.n_users; ++u) {
+    const double f_hz =
+        common::bpm_to_hz(config.base_rate_bpm + 1.5 * static_cast<double>(u));
+    for (std::size_t tag = 0; tag < config.tags_per_user; ++tag) {
+      const std::size_t slot = u * config.tags_per_user + tag;
+      const double offset =
+          period * static_cast<double>(slot) / static_cast<double>(total_tags);
+      const double static_phase =
+          1.1 + 0.7 * static_cast<double>(tag) + 0.3 * static_cast<double>(u);
+      for (double t = offset; t <= config.duration_s; t += period) {
+        TagRead read;
+        read.time_s = t;
+        read.epc = rfid::Epc96::from_user_tag(
+            static_cast<std::uint64_t>(u + 1),
+            static_cast<std::uint32_t>(tag + 1));
+        read.antenna_id = 1;
+        read.channel_index = 1;
+        read.frequency_hz = 920.625e6;
+        read.rssi_dbm = -55.0;
+        read.phase_rad = common::wrap_phase_2pi(
+            static_phase +
+            0.35 * std::sin(common::kTwoPi * f_hz * t +
+                            0.9 * static_cast<double>(slot)));
+        clean.push_back(read);
+      }
+    }
+  }
+  std::stable_sort(clean.begin(), clean.end(),
+                   [](const TagRead& a, const TagRead& b) {
+                     return a.time_s < b.time_s;
+                   });
+  return clean;
+}
+
+SoakInvariantSink::SoakInvariantSink(std::vector<std::uint64_t> roster,
+                                     std::size_t user_cap,
+                                     std::size_t validator_cap,
+                                     SoakReport& report)
+    : roster_(std::move(roster)),
+      user_cap_(user_cap),
+      validator_cap_(validator_cap),
+      report_(report),
+      last_event_s_(-std::numeric_limits<double>::infinity()) {}
+
+void SoakInvariantSink::violation(std::string line) {
+  add_violation(report_.violations, std::move(line));
+}
+
+void SoakInvariantSink::on_event(const PipelineEvent& event) {
+  ++report_.events;
+  if (event.kind == PipelineEventKind::SignalLost)
+    ++report_.signal_lost_events;
+  if (event.kind == PipelineEventKind::SignalRecovered)
+    ++report_.signal_recovered_events;
+
+  if (event.time_s < last_event_s_)
+    violation("non-monotonic event time at t=" + std::to_string(event.time_s));
+  last_event_s_ = std::max(last_event_s_, event.time_s);
+  report_.last_event_time_s = last_event_s_;
+
+  if (!std::binary_search(roster_.begin(), roster_.end(), event.user_id))
+    violation("event for unadmitted user " + std::to_string(event.user_id) +
+              " (quarantine breached)");
+
+  report_.event_log.push_back(format_soak_event(event));
+}
+
+void SoakInvariantSink::after_pump(const RealtimePipeline& pipeline,
+                                   std::size_t validator_tracked_users) {
+  report_.peak_tracked_users =
+      std::max(report_.peak_tracked_users, pipeline.tracked_users());
+  if (user_cap_ > 0 && pipeline.tracked_users() > user_cap_)
+    violation("tracked users " + std::to_string(pipeline.tracked_users()) +
+              " exceed cap " + std::to_string(user_cap_));
+  if (validator_cap_ > 0 && validator_tracked_users > validator_cap_)
+    violation("validator user state exceeds cap");
+}
+
 void SoakConfig::validate() const {
   const auto bad = [](const std::string& what) {
     throw std::invalid_argument("SoakConfig: " + what);
@@ -208,102 +308,24 @@ SoakReport run_soak(const SoakConfig& config) {
   if (pipeline_cfg.max_users == 0) pipeline_cfg.max_users = ingest_cfg.max_users;
 
   // --- invariant-checking event sink -------------------------------------
-  double last_event_s = -std::numeric_limits<double>::infinity();
-  RealtimePipeline pipeline(
-      pipeline_cfg, [&](const PipelineEvent& event) {
-        ++report.events;
-        if (event.kind == PipelineEventKind::SignalLost)
-          ++report.signal_lost_events;
-        if (event.kind == PipelineEventKind::SignalRecovered)
-          ++report.signal_recovered_events;
-
-        if (event.time_s < last_event_s)
-          add_violation(report.violations,
-                        "non-monotonic event time at t=" +
-                            std::to_string(event.time_s));
-        last_event_s = std::max(last_event_s, event.time_s);
-        report.last_event_time_s = last_event_s;
-
-        if (!std::binary_search(roster.begin(), roster.end(), event.user_id))
-          add_violation(report.violations,
-                        "event for unadmitted user " +
-                            std::to_string(event.user_id) +
-                            " (quarantine breached)");
-
-        char line[160];
-        std::snprintf(line, sizeof(line),
-                      "t=%010.3f user=%03llu %s rate=%07.3f reliable=%d "
-                      "health=%s",
-                      event.time_s,
-                      static_cast<unsigned long long>(event.user_id),
-                      pipeline_event_name(event.kind), event.rate_bpm,
-                      event.reliable ? 1 : 0,
-                      signal_health_name(event.health));
-        report.event_log.emplace_back(line);
-      });
+  const std::size_t user_cap =
+      pipeline_cfg.max_users > 0 ? pipeline_cfg.max_users : config.n_users;
+  SoakInvariantSink sink(roster, user_cap, ingest_cfg.max_users, report);
+  RealtimePipeline pipeline(pipeline_cfg, [&](const PipelineEvent& event) {
+    sink.on_event(event);
+  });
 
   IngestFrontEnd frontend(ingest_cfg, pipeline);
   ChaosInjector injector(config.chaos);
 
-  // --- clean synthetic population ----------------------------------------
-  // One read stream per (user, tag) on a staggered grid; the phase is a
-  // breathing sinusoid on top of a per-tag static offset, matching what
-  // the demux/preprocess layers expect from a real array.
-  const std::size_t total_tags = config.n_users * config.tags_per_user;
-  const double period = 1.0 / config.read_rate_hz;
-  std::vector<TagRead> clean;
-  clean.reserve(static_cast<std::size_t>(config.duration_s *
-                                         config.read_rate_hz) *
-                    total_tags +
-                total_tags);
-  for (std::size_t u = 0; u < config.n_users; ++u) {
-    const double f_hz =
-        common::bpm_to_hz(config.base_rate_bpm + 1.5 * static_cast<double>(u));
-    for (std::size_t tag = 0; tag < config.tags_per_user; ++tag) {
-      const std::size_t slot = u * config.tags_per_user + tag;
-      const double offset =
-          period * static_cast<double>(slot) / static_cast<double>(total_tags);
-      const double static_phase =
-          1.1 + 0.7 * static_cast<double>(tag) + 0.3 * static_cast<double>(u);
-      for (double t = offset; t <= config.duration_s; t += period) {
-        TagRead read;
-        read.time_s = t;
-        read.epc = rfid::Epc96::from_user_tag(
-            roster[u], static_cast<std::uint32_t>(tag + 1));
-        read.antenna_id = 1;
-        read.channel_index = 1;
-        read.frequency_hz = 920.625e6;
-        read.rssi_dbm = -55.0;
-        read.phase_rad = common::wrap_phase_2pi(
-            static_phase +
-            0.35 * std::sin(common::kTwoPi * f_hz * t +
-                            0.9 * static_cast<double>(slot)));
-        clean.push_back(read);
-      }
-    }
-  }
-  std::stable_sort(clean.begin(), clean.end(),
-                   [](const TagRead& a, const TagRead& b) {
-                     return a.time_s < b.time_s;
-                   });
+  const ReadStream clean = make_soak_population(config);
 
   // --- drive -------------------------------------------------------------
-  const std::size_t user_cap =
-      pipeline_cfg.max_users > 0 ? pipeline_cfg.max_users : config.n_users;
   std::vector<TagRead> delivered;
   double next_pump = config.pump_period_s;
   const auto pump_and_check = [&](double now_s) {
     frontend.pump(now_s);
-    report.peak_tracked_users =
-        std::max(report.peak_tracked_users, pipeline.tracked_users());
-    if (pipeline.tracked_users() > user_cap)
-      add_violation(report.violations,
-                    "tracked users " +
-                        std::to_string(pipeline.tracked_users()) +
-                        " exceed cap " + std::to_string(user_cap));
-    if (ingest_cfg.max_users > 0 &&
-        frontend.validator().tracked_users() > ingest_cfg.max_users)
-      add_violation(report.violations, "validator user state exceeds cap");
+    sink.after_pump(pipeline, frontend.validator().tracked_users());
   };
 
   for (const TagRead& read : clean) {

@@ -138,6 +138,9 @@ struct SoakReport {
   ChaosStats chaos;
   IngestQueueCounters queue;
   ValidationCounters validation;
+  /// Journal/snapshot/recovery counters — populated by the durability
+  /// soak (core/recovery run_durable_soak); all-zero for a plain soak.
+  DurabilityCounters durability;
   std::size_t events = 0;
   std::size_t signal_lost_events = 0;
   std::size_t signal_recovered_events = 0;
@@ -145,6 +148,43 @@ struct SoakReport {
   double last_event_time_s = 0.0;
 
   bool ok() const noexcept { return violations.empty(); }
+};
+
+/// Fixed-precision one-line rendering of a pipeline event. All soak
+/// logs (chaos and crash-recovery) format through this, so two
+/// deterministic runs — or a golden run and a recovered run — can be
+/// compared byte for byte.
+std::string format_soak_event(const PipelineEvent& event);
+
+/// The clean synthetic population run_soak feeds: n_users breathing
+/// sinusoids, tags_per_user staggered read streams each, time-sorted.
+/// Exposed for the durability layer's crash harness, whose
+/// golden-vs-recovered comparison needs the identical population.
+ReadStream make_soak_population(const SoakConfig& config);
+
+/// Event sink + invariant bookkeeping shared by run_soak and the
+/// durability soaks (core/recovery): event counting and logging,
+/// monotonic event time, roster membership, and tracked-user caps.
+class SoakInvariantSink {
+ public:
+  /// `roster` must be sorted ascending. Caps of 0 disable their checks.
+  SoakInvariantSink(std::vector<std::uint64_t> roster, std::size_t user_cap,
+                    std::size_t validator_cap, SoakReport& report);
+
+  void on_event(const PipelineEvent& event);
+
+  /// Tracking-state checks, run after every pump.
+  void after_pump(const RealtimePipeline& pipeline,
+                  std::size_t validator_tracked_users);
+
+  void violation(std::string line);
+
+ private:
+  std::vector<std::uint64_t> roster_;
+  std::size_t user_cap_;
+  std::size_t validator_cap_;
+  SoakReport& report_;
+  double last_event_s_;
 };
 
 /// Runs the soak and checks invariants. Deterministic: two calls with

@@ -98,6 +98,29 @@ std::vector<std::uint64_t> StreamDemux::users() const {
   return out;
 }
 
+DemuxState StreamDemux::export_state() const {
+  DemuxState state;
+  state.streams.reserve(streams_.size());
+  for (const auto& [key, stream] : streams_)
+    state.streams.push_back(DemuxState::Stream{key, stream});
+  state.reads_seen.assign(reads_seen_.begin(), reads_seen_.end());
+  state.accepted = accepted_;
+  state.ignored = ignored_;
+  state.shed = shed_;
+  return state;
+}
+
+void StreamDemux::import_state(DemuxState state) {
+  streams_.clear();
+  for (auto& stream : state.streams)
+    streams_[stream.key] = std::move(stream.reads);
+  reads_seen_.clear();
+  reads_seen_.insert(state.reads_seen.begin(), state.reads_seen.end());
+  accepted_ = state.accepted;
+  ignored_ = state.ignored;
+  shed_ = state.shed;
+}
+
 void StreamDemux::clear() noexcept {
   streams_.clear();
   reads_seen_.clear();

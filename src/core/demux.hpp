@@ -28,6 +28,21 @@ struct StreamKey {
   friend auto operator<=>(const StreamKey&, const StreamKey&) = default;
 };
 
+/// Serializable image of a demux: buffered streams plus the monotonic
+/// counters. The snapshot layer (core/snapshot) encodes this; the demux
+/// itself stays byte-format-agnostic.
+struct DemuxState {
+  struct Stream {
+    StreamKey key;
+    std::vector<TagRead> reads;
+  };
+  std::vector<Stream> streams;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> reads_seen;
+  std::uint64_t accepted = 0;
+  std::uint64_t ignored = 0;
+  std::uint64_t shed = 0;
+};
+
 class StreamDemux {
  public:
   /// `monitored_users` restricts grouping to known user IDs; reads from
@@ -81,6 +96,14 @@ class StreamDemux {
   }
   /// Reads shed by the per-stream cap.
   std::size_t shed_reads() const noexcept { return shed_; }
+
+  /// Durable-state hooks (crash recovery, core/snapshot). export_state
+  /// captures buffered streams and counters; import_state replaces them
+  /// wholesale (roster/registry/caps are configuration, not state, and
+  /// are untouched). Streams are emitted in key order, so the image is
+  /// deterministic for a given demux.
+  DemuxState export_state() const;
+  void import_state(DemuxState state);
 
   void clear() noexcept;
 

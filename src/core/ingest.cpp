@@ -236,6 +236,36 @@ ReadValidator::Verdict ReadValidator::admit(TagRead& read) {
   return Verdict{true, repaired, QuarantineReason::MalformedEpc};
 }
 
+ValidatorState ReadValidator::export_state() const {
+  ValidatorState state;
+  state.any_admitted = std::isfinite(last_admitted_s_);
+  state.last_admitted_s = state.any_admitted ? last_admitted_s_ : 0.0;
+  state.streams.reserve(streams_.size());
+  for (const auto& [key, stream] : streams_) {
+    state.streams.push_back(ValidatorState::Stream{
+        key.user_id, key.tag_id, key.antenna_id, stream.last_time_s,
+        stream.last_phase_rad});
+  }
+  state.lru_order.assign(lru_order_.begin(), lru_order_.end());
+  return state;
+}
+
+void ReadValidator::import_state(const ValidatorState& state) {
+  last_admitted_s_ = state.any_admitted
+                         ? state.last_admitted_s
+                         : -std::numeric_limits<double>::infinity();
+  streams_.clear();
+  for (const ValidatorState::Stream& s : state.streams) {
+    streams_[LruKey{s.user_id, s.tag_id, s.antenna_id}] =
+        StreamState{s.last_time_s, s.last_phase_rad};
+  }
+  lru_order_.clear();
+  lru_index_.clear();
+  for (const std::uint64_t user : state.lru_order)
+    lru_index_[user] = lru_order_.insert(lru_order_.end(), user);
+  pending_evictions_.clear();
+}
+
 // ---------------------------------------------------------------------------
 // IngestFrontEnd
 
@@ -254,6 +284,7 @@ std::size_t IngestFrontEnd::pump(double now_s) {
   std::size_t admitted = 0;
   for (TagRead& read : scratch_) {
     if (validator_.admit(read).admitted) {
+      if (tap_) tap_(read);
       pipeline_.push(read);
       ++admitted;
     }

@@ -33,6 +33,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <mutex>
@@ -184,6 +185,24 @@ class IngestQueue {
   IngestQueueCounters counters_;
 };
 
+/// Serializable image of a validator (core/snapshot): the admission
+/// frontier plus per-stream duplicate-detection state and the LRU
+/// order. Counters are observability, not state, and restart at zero
+/// with the process.
+struct ValidatorState {
+  struct Stream {
+    std::uint64_t user_id = 0;
+    std::uint32_t tag_id = 0;
+    std::uint8_t antenna_id = 0;
+    double last_time_s = 0.0;
+    double last_phase_rad = 0.0;
+  };
+  double last_admitted_s = 0.0;
+  bool any_admitted = false;  // last_admitted_s is -inf when false
+  std::vector<Stream> streams;
+  std::vector<std::uint64_t> lru_order;  // least-recent first
+};
+
 /// Stateful read validation & quarantine. Single-threaded (runs on the
 /// consumer side of the queue).
 class ReadValidator {
@@ -207,6 +226,13 @@ class ReadValidator {
   /// Newest admitted timestamp (-inf before the first admission).
   double last_admitted_s() const noexcept { return last_admitted_s_; }
   std::size_t tracked_users() const noexcept { return lru_index_.size(); }
+
+  /// Durable-state hooks (crash recovery): the restored validator
+  /// resumes exactly where the snapshot left off — the admission
+  /// frontier, duplicate windows and LRU order all survive, so a
+  /// replayed or resumed stream is judged identically to the original.
+  ValidatorState export_state() const;
+  void import_state(const ValidatorState& state);
 
  private:
   struct StreamState {
@@ -253,7 +279,17 @@ class IngestFrontEnd {
   /// advances the pipeline clock to `now_s`. Returns reads admitted.
   std::size_t pump(double now_s);
 
+  /// Observer invoked for every read the validator admits, immediately
+  /// before it reaches the pipeline. The durability layer hangs its
+  /// write-ahead journal here so the journal sees exactly the admitted
+  /// stream (quarantined reads are never persisted).
+  using AdmitTap = std::function<void(const TagRead&)>;
+  void set_admit_tap(AdmitTap tap) { tap_ = std::move(tap); }
+
   IngestQueue& queue() noexcept { return queue_; }
+  /// Mutable access exists for recovery (state import); live code
+  /// should treat the validator as pump-owned.
+  ReadValidator& validator() noexcept { return validator_; }
   const ReadValidator& validator() const noexcept { return validator_; }
   const ValidationCounters& validation() const noexcept {
     return validator_.counters();
@@ -265,6 +301,7 @@ class IngestFrontEnd {
   IngestQueue queue_;
   ReadValidator validator_;
   RealtimePipeline& pipeline_;
+  AdmitTap tap_;
   std::vector<TagRead> scratch_;
 };
 

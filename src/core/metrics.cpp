@@ -22,6 +22,25 @@ void LatencyStats::merge(const LatencyStats& other) noexcept {
   max_s = std::max(max_s, other.max_s);
 }
 
+void DurabilityCounters::merge(const DurabilityCounters& other) noexcept {
+  journal_records_appended += other.journal_records_appended;
+  journal_commits += other.journal_commits;
+  journal_bytes_written += other.journal_bytes_written;
+  journal_segments_created += other.journal_segments_created;
+  journal_segments_pruned += other.journal_segments_pruned;
+  replay_records += other.replay_records;
+  replay_quarantined += other.replay_quarantined;
+  journal_records_corrupt += other.journal_records_corrupt;
+  journal_truncated_tails += other.journal_truncated_tails;
+  journal_segments_scanned += other.journal_segments_scanned;
+  journal_segments_rejected += other.journal_segments_rejected;
+  snapshots_written += other.snapshots_written;
+  snapshot_bytes_written += other.snapshot_bytes_written;
+  snapshots_pruned += other.snapshots_pruned;
+  snapshots_loaded += other.snapshots_loaded;
+  snapshots_rejected += other.snapshots_rejected;
+}
+
 double breathing_rate_accuracy(double estimated_bpm,
                                double true_bpm) noexcept {
   if (true_bpm <= 0.0) return estimated_bpm == 0.0 ? 1.0 : 0.0;

@@ -20,6 +20,38 @@ struct LatencyStats {
   void merge(const LatencyStats& other) noexcept;
 };
 
+/// Durability-layer observability (core/journal, core/snapshot,
+/// core/recovery): what was persisted, what was skipped as corrupt, and
+/// what recovery rebuilt. Each component fills the fields it owns;
+/// DurableMonitor::counters() merges them into one view (the chaos-soak
+/// summary prints it). Corruption counters matter most: a bit-flipped
+/// journal record or a rejected snapshot must surface here, never as a
+/// crash.
+struct DurabilityCounters {
+  // Journal write path.
+  std::uint64_t journal_records_appended = 0;
+  std::uint64_t journal_commits = 0;
+  std::uint64_t journal_bytes_written = 0;
+  std::uint64_t journal_segments_created = 0;
+  std::uint64_t journal_segments_pruned = 0;
+  // Journal scan / replay path.
+  std::uint64_t replay_records = 0;           // intact records replayed
+  std::uint64_t replay_quarantined = 0;       // replayed, refused by validation
+  std::uint64_t journal_records_corrupt = 0;  // CRC/frame failures skipped
+  std::uint64_t journal_truncated_tails = 0;  // torn segment tails skipped
+  std::uint64_t journal_segments_scanned = 0;
+  std::uint64_t journal_segments_rejected = 0;  // unreadable segment headers
+  // Snapshot path.
+  std::uint64_t snapshots_written = 0;
+  std::uint64_t snapshot_bytes_written = 0;
+  std::uint64_t snapshots_pruned = 0;
+  std::uint64_t snapshots_loaded = 0;    // accepted at recovery
+  std::uint64_t snapshots_rejected = 0;  // bad magic/version/CRC, skipped
+
+  /// Field-wise sum (all counters are monotonic totals).
+  void merge(const DurabilityCounters& other) noexcept;
+};
+
 /// Eq. 8: accuracy = 1 − |R̂ − R| / R. Clamped to [0, 1] (a wildly wrong
 /// estimate cannot score below zero, matching how such plots are read).
 double breathing_rate_accuracy(double estimated_bpm, double true_bpm) noexcept;

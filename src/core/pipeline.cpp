@@ -96,6 +96,46 @@ void RealtimePipeline::push(const TagRead& read) {
   state.last_read_s = read.time_s;
 }
 
+PipelineState RealtimePipeline::export_state() const {
+  PipelineState state;
+  state.now_s = now_;
+  state.start_s = start_;
+  state.next_update_s = next_update_;
+  state.started = started_;
+  state.users_evicted = users_evicted_;
+  state.users.reserve(user_state_.size());
+  for (const auto& [user, us] : user_state_) {
+    state.users.push_back(PipelineState::User{
+        user, us.last_read_s, us.last_crossing_s, us.in_apnea, us.lost,
+        us.ever_reliable, us.health});
+  }
+  state.last_seen_reads.assign(last_seen_reads_.begin(),
+                               last_seen_reads_.end());
+  state.demux = demux_.export_state();
+  return state;
+}
+
+void RealtimePipeline::import_state(PipelineState state) {
+  now_ = state.now_s;
+  start_ = state.start_s;
+  next_update_ = state.next_update_s;
+  started_ = state.started;
+  users_evicted_ = state.users_evicted;
+  user_state_.clear();
+  for (const PipelineState::User& u : state.users) {
+    user_state_[u.user_id] =
+        UserState{u.last_read_s, u.last_crossing_s, u.in_apnea,
+                  u.lost,        u.ever_reliable,   u.health};
+  }
+  last_seen_reads_.clear();
+  last_seen_reads_.insert(state.last_seen_reads.begin(),
+                          state.last_seen_reads.end());
+  // Derived data is rebuilt, not restored: the first post-restore tick
+  // re-analyses every user from the restored demux window.
+  latest_.clear();
+  demux_.import_state(std::move(state.demux));
+}
+
 void RealtimePipeline::advance_to(double time_s) {
   if (!started_) return;
   now_ = std::max(now_, time_s);

@@ -86,6 +86,31 @@ struct PipelineEvent {
   SignalHealth health = SignalHealth::Ok;
 };
 
+/// Serializable image of a pipeline (core/snapshot): the stream clock,
+/// the per-user event state machine, dirty-window bookkeeping and the
+/// buffered demux window. The latest per-user analyses are *not* part
+/// of the state — they are derived data, recomputed at the first update
+/// tick after a restore.
+struct PipelineState {
+  struct User {
+    std::uint64_t user_id = 0;
+    double last_read_s = -1.0;
+    double last_crossing_s = -1.0;
+    bool in_apnea = false;
+    bool lost = false;
+    bool ever_reliable = false;
+    SignalHealth health = SignalHealth::Lost;
+  };
+  double now_s = 0.0;
+  double start_s = 0.0;
+  double next_update_s = 0.0;
+  bool started = false;
+  std::uint64_t users_evicted = 0;
+  std::vector<User> users;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> last_seen_reads;
+  DemuxState demux;
+};
+
 class RealtimePipeline {
  public:
   using EventCallback = std::function<void(const PipelineEvent&)>;
@@ -125,6 +150,14 @@ class RealtimePipeline {
   std::size_t analyses_skipped() const noexcept { return analyses_skipped_; }
 
   double now_s() const noexcept { return now_; }
+
+  /// Durable-state hooks (crash recovery). import_state expects a
+  /// freshly constructed pipeline built with the *same* PipelineConfig
+  /// that produced the export; the update grid (start/next_update) is
+  /// restored exactly, so post-restore ticks land on the original
+  /// boundaries and the event stream continues where it left off.
+  PipelineState export_state() const;
+  void import_state(PipelineState state);
 
  private:
   void update(double time_s);

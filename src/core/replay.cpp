@@ -107,8 +107,8 @@ struct ReadRecorder::Impl {
   std::ofstream out;
 };
 
-ReadRecorder::ReadRecorder(const std::string& path)
-    : impl_(std::make_unique<Impl>()) {
+ReadRecorder::ReadRecorder(const std::string& path, std::size_t flush_every)
+    : impl_(std::make_unique<Impl>()), flush_every_(flush_every) {
   impl_->out.open(path);
   if (!impl_->out)
     throw std::runtime_error("ReadRecorder: cannot open " + path);
@@ -120,6 +120,14 @@ ReadRecorder::~ReadRecorder() = default;
 void ReadRecorder::record(const TagRead& read) {
   write_row(impl_->out, read);
   ++count_;
+  if (flush_every_ > 0 && ++since_flush_ >= flush_every_) flush();
+}
+
+void ReadRecorder::flush() {
+  since_flush_ = 0;
+  impl_->out.flush();
+  if (!impl_->out)
+    throw std::runtime_error("ReadRecorder: flush failed");
 }
 
 std::size_t replay_reads(std::span<const TagRead> reads,

@@ -30,21 +30,31 @@ ReadStream load_reads_csv(const std::string& path);
 ReadStream load_reads_csv(std::istream& in);
 
 /// Streaming recorder: tees reads to disk while they flow to the
-/// analysis. Flushes on destruction.
+/// analysis. With `flush_every` > 0 the stream is flushed to the OS
+/// after every that-many records, so a crash loses a bounded tail of
+/// the capture instead of everything since the last stdio flush; 0
+/// leaves flushing to the stream (destruction and buffer pressure).
 class ReadRecorder {
  public:
-  explicit ReadRecorder(const std::string& path);
+  explicit ReadRecorder(const std::string& path, std::size_t flush_every = 0);
   ~ReadRecorder();
 
   ReadRecorder(const ReadRecorder&) = delete;
   ReadRecorder& operator=(const ReadRecorder&) = delete;
 
   void record(const TagRead& read);
+
+  /// Pushes everything buffered to the OS now. Throws on I/O error —
+  /// a capture that silently stopped persisting is worse than a crash.
+  void flush();
+
   std::size_t recorded() const noexcept { return count_; }
 
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
+  std::size_t flush_every_ = 0;
+  std::size_t since_flush_ = 0;
   std::size_t count_ = 0;
 };
 

@@ -1,0 +1,117 @@
+// Versioned pipeline snapshots: periodic checksummed serialization of
+// the whole analysis state (RealtimePipeline + StreamDemux window +
+// ReadValidator), written atomically so a crash at any instant leaves
+// either the previous snapshot or the new one — never a half-written
+// hybrid that parses.
+//
+// On-disk format (all integers little-endian):
+//
+//   8 B  magic "TBSNAP01"
+//   u32  format version (kSnapshotFormatVersion)
+//   u64  last journal sequence number the snapshot covers
+//   f64  pipeline stream clock at capture
+//   u32  section count
+//   u32  CRC-32 of the 24 bytes above (version .. section count)
+//   per section:
+//     u32  section id (SnapshotSection)
+//     u32  payload length
+//     u32  CRC-32 of the payload
+//     payload
+//
+// Write discipline: encode fully in memory, write to
+// `<name>.tbs.tmp`, fsync, rename() into place, fsync the directory.
+// Retention keeps the newest `keep` snapshots. The loader walks
+// newest-first and falls back: a snapshot with a bad magic, an unknown
+// format version, or any section CRC mismatch is rejected with a
+// recorded reason and the next-older file is tried — corruption costs
+// recency, never availability.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ingest.hpp"
+#include "core/journal.hpp"
+#include "core/metrics.hpp"
+#include "core/pipeline.hpp"
+
+namespace tagbreathe::core {
+
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+enum class SnapshotSection : std::uint32_t {
+  Pipeline = 1,   // clock, event state machine, dirty-window bookkeeping
+  Demux = 2,      // buffered read window per (user, tag, antenna)
+  Validator = 3,  // admission frontier, duplicate windows, LRU order
+};
+
+/// One decoded snapshot: everything recovery needs to resume.
+struct SnapshotData {
+  std::uint64_t last_journal_seq = 0;
+  double now_s = 0.0;
+  PipelineState pipeline;
+  ValidatorState validator;
+};
+
+struct SnapshotConfig {
+  /// Directory holding the snapshot files (created if missing).
+  std::string directory;
+  /// Newest snapshots kept on disk (>= 2 so a corrupt newest can fall
+  /// back to a good predecessor).
+  std::size_t keep = 2;
+  /// fsync the temp file before rename and the directory after. Off is
+  /// only for benchmarks; recovery guarantees assume on.
+  bool fsync = true;
+
+  /// Throws std::invalid_argument on nonsensical values.
+  void validate() const;
+};
+
+/// Write side. Same wedge discipline as JournalWriter: any mid-write
+/// failure (I/O or injected crash) permanently disables the writer so
+/// a torn temp file is never finished by a code path the real crash
+/// would have killed.
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(SnapshotConfig config,
+                          const DurabilityHooks* hooks = nullptr);
+
+  /// Serializes, writes atomically, prunes old snapshots. Returns the
+  /// final path. Throws DurabilityError on I/O failure.
+  std::string write(const SnapshotData& data);
+
+  bool wedged() const noexcept { return wedged_; }
+  const DurabilityCounters& counters() const noexcept { return counters_; }
+
+ private:
+  SnapshotConfig config_;
+  const DurabilityHooks* hooks_;
+  std::uint64_t next_ordinal_ = 1;
+  bool wedged_ = false;
+  DurabilityCounters counters_;
+};
+
+/// Newest-first snapshot load with fallback.
+struct SnapshotLoadReport {
+  std::optional<SnapshotData> data;
+  std::string loaded_file;  // empty when nothing valid was found
+  /// "file: reason" for every newer snapshot that was rejected.
+  std::vector<std::string> rejected;
+  DurabilityCounters counters;
+};
+
+/// Scans `directory` for snapshot files, newest first; returns the
+/// first one that passes magic, version and every section CRC. A
+/// missing directory loads as empty. Never throws on file content.
+SnapshotLoadReport load_newest_snapshot(const std::string& directory);
+
+/// Byte-level codec, exposed for tests (format-evolution coverage
+/// crafts snapshots with mismatched versions / CRCs from these).
+std::vector<std::uint8_t> encode_snapshot(const SnapshotData& data);
+/// Throws DurabilityError with a precise reason on any integrity
+/// failure (magic, version, header CRC, section CRC, truncation).
+SnapshotData decode_snapshot(const std::uint8_t* bytes, std::size_t size);
+
+}  // namespace tagbreathe::core
