@@ -13,12 +13,16 @@
 // the DurableMonitor, and the journal/snapshot counters join the
 // summary — rerunning against a non-empty directory exercises a
 // graceful restart (snapshot load + journal tail replay) first.
+// The soak binds an observability hub; set TAGBREATHE_METRICS_OUT to a
+// path to dump the final Prometheus scrape there for inspection.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "core/chaos.hpp"
 #include "core/recovery.hpp"
+#include "obs/export.hpp"
+#include "obs/observability.hpp"
 
 using namespace tagbreathe;
 
@@ -40,6 +44,9 @@ int main(int argc, char** argv) {
   cfg.ingest.max_users = users;
   cfg.ingest.queue_capacity = 1024;
   cfg.chaos = core::ChaosConfig::composite(seed);
+  obs::Observability hub(1 << 14);
+  hub.use_deterministic_clock();  // byte-stable exports across runs
+  cfg.observability = &hub;
 
   std::printf("chaos soak: seed=%llu duration=%.0fs users=%zu%s%s\n",
               static_cast<unsigned long long>(seed), cfg.duration_s, users,
@@ -117,6 +124,21 @@ int main(int argc, char** argv) {
                 static_cast<std::size_t>(d.snapshots_written),
                 static_cast<std::size_t>(d.snapshots_loaded),
                 static_cast<std::size_t>(d.snapshots_rejected));
+  }
+
+  const obs::ObservabilitySnapshot snap = hub.snapshot();
+  std::printf("\n-- observability --\n");
+  std::printf("metric series      %zu\n", hub.metrics().size());
+  std::printf("trace events       %zu (%llu dropped by ring wrap)\n",
+              snap.trace.events.size(),
+              static_cast<unsigned long long>(snap.trace.dropped));
+  if (const char* out = std::getenv("TAGBREATHE_METRICS_OUT")) {
+    const std::string scrape = obs::to_prometheus(snap);
+    if (std::FILE* f = std::fopen(out, "w")) {
+      std::fwrite(scrape.data(), 1, scrape.size(), f);
+      std::fclose(f);
+      std::printf("scrape written     %s (%zu bytes)\n", out, scrape.size());
+    }
   }
 
   if (!report.ok()) {

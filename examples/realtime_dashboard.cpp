@@ -4,13 +4,21 @@
 //
 // Two users breathe at different (and changing) rates; the display
 // redraws every 5 seconds of stream time.
+//
+// The pipeline is bound to an observability hub; on exit the full
+// Prometheus scrape is written to `dashboard_metrics.prom` (first
+// argument overrides the path) — the same text a /metrics endpoint
+// would serve, so `curl`-style tooling and promtool can consume it.
 #include <cstdio>
 #include <map>
+#include <string>
 
 #include "common/table.hpp"
 #include "core/breath_stats.hpp"
 #include "core/pipeline.hpp"
 #include "experiments/scenario.hpp"
+#include "obs/export.hpp"
+#include "obs/observability.hpp"
 
 using namespace tagbreathe;
 
@@ -37,8 +45,10 @@ void draw(double now, const std::map<std::uint64_t, core::UserAnalysis>& latest)
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("TagBreathe realtime dashboard: 2 users, 2 min\n");
+  const std::string metrics_path =
+      argc > 1 ? argv[1] : "dashboard_metrics.prom";
 
   experiments::ScenarioConfig scene;
   scene.duration_s = 120.0;
@@ -59,6 +69,8 @@ int main() {
   core::PipelineConfig pcfg;
   pcfg.window_s = 45.0;
   core::RealtimePipeline pipeline(pcfg, nullptr);
+  obs::Observability hub;
+  pipeline.bind_observability(hub);
 
   double next_draw = 20.0;
   scenario.reader().run(scene.duration_s, [&](const core::TagRead& read) {
@@ -79,5 +91,22 @@ int main() {
                    common::fmt(truth, 1)});
   }
   table.print();
+
+  // The scrape a /metrics endpoint would serve.
+  const std::string scrape = obs::to_prometheus(hub.snapshot());
+  if (std::FILE* f = std::fopen(metrics_path.c_str(), "w")) {
+    std::fwrite(scrape.data(), 1, scrape.size(), f);
+    std::fclose(f);
+    std::printf("\nmetrics scrape written to %s (%zu bytes); sample:\n",
+                metrics_path.c_str(), scrape.size());
+    // First few series as a teaser; the file has the full export.
+    std::size_t shown = 0, pos = 0;
+    while (shown < 6 && pos < scrape.size()) {
+      const std::size_t eol = scrape.find('\n', pos);
+      std::printf("  %s\n", scrape.substr(pos, eol - pos).c_str());
+      pos = eol + 1;
+      ++shown;
+    }
+  }
   return 0;
 }

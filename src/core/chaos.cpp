@@ -316,6 +316,10 @@ SoakReport run_soak(const SoakConfig& config) {
   });
 
   IngestFrontEnd frontend(ingest_cfg, pipeline);
+  if (config.observability != nullptr) {
+    pipeline.bind_observability(*config.observability);
+    frontend.bind_observability(*config.observability);
+  }
   ChaosInjector injector(config.chaos);
 
   const ReadStream clean = make_soak_population(config);

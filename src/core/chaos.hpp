@@ -126,6 +126,10 @@ struct SoakConfig {
   IngestConfig ingest{};
   PipelineConfig pipeline{};
   ChaosConfig chaos{};
+  /// Optional observability hub the soak's pipeline + front-end bind to
+  /// (the golden-snapshot determinism test exports it after the run).
+  /// Must outlive the soak call. Null = no instrumentation.
+  obs::Observability* observability = nullptr;
 
   void validate() const;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/observability.hpp"
+
 namespace tagbreathe::core {
 
 StreamDemux::StreamDemux(std::vector<std::uint64_t> monitored_users)
@@ -23,6 +25,7 @@ void StreamDemux::add(const TagRead& read) {
     const auto identity = registry_->lookup(read.epc);
     if (!identity) {
       ++ignored_;
+      if (obs_.accepted != nullptr) obs_.ignored->add();
       return;
     }
     user = identity->user_id;
@@ -33,6 +36,7 @@ void StreamDemux::add(const TagRead& read) {
   }
   if (!is_monitored(user)) {
     ++ignored_;
+    if (obs_.accepted != nullptr) obs_.ignored->add();
     return;
   }
   const StreamKey key{user, tag, read.antenna_id};
@@ -40,10 +44,15 @@ void StreamDemux::add(const TagRead& read) {
   if (max_reads_per_stream_ > 0 && stream.size() >= max_reads_per_stream_) {
     stream.erase(stream.begin());
     ++shed_;
+    if (obs_.accepted != nullptr) obs_.shed->add();
   }
   stream.push_back(read);
   ++accepted_;
   ++reads_seen_[user];
+  if (obs_.accepted != nullptr) {
+    obs_.accepted->add();
+    obs_.streams->set(static_cast<double>(streams_.size()));
+  }
 }
 
 std::uint64_t StreamDemux::reads_seen(std::uint64_t user_id) const noexcept {
@@ -119,6 +128,12 @@ void StreamDemux::import_state(DemuxState state) {
   accepted_ = state.accepted;
   ignored_ = state.ignored;
   shed_ = state.shed;
+  if (obs_.accepted != nullptr) {
+    obs_.accepted->set(accepted_);
+    obs_.ignored->set(ignored_);
+    obs_.shed->set(shed_);
+    obs_.streams->set(static_cast<double>(streams_.size()));
+  }
 }
 
 void StreamDemux::clear() noexcept {
@@ -127,6 +142,12 @@ void StreamDemux::clear() noexcept {
   accepted_ = 0;
   ignored_ = 0;
   shed_ = 0;
+  if (obs_.accepted != nullptr) {
+    obs_.accepted->set(0);
+    obs_.ignored->set(0);
+    obs_.shed->set(0);
+    obs_.streams->set(0.0);
+  }
 }
 
 std::size_t StreamDemux::drop_user(std::uint64_t user_id) {
@@ -150,6 +171,20 @@ void StreamDemux::evict_before(double cutoff_s) {
         [cutoff_s](const TagRead& r) { return r.time_s >= cutoff_s; });
     stream.erase(stream.begin(), first_kept);
   }
+}
+
+void StreamDemux::bind_observability(obs::Observability& hub) {
+  obs::MetricsRegistry& m = hub.metrics();
+  obs_.ignored = &m.counter("demux_ignored_total");
+  obs_.shed = &m.counter("demux_shed_total");
+  obs_.streams = &m.gauge("demux_streams");
+  obs_.accepted = &m.counter("demux_accepted_total");
+  // Seed the mirrors from current state so a late bind (or a bind after
+  // crash-recovery import_state) doesn't zero the exported series.
+  obs_.accepted->set(accepted_);
+  obs_.ignored->set(ignored_);
+  obs_.shed->set(shed_);
+  obs_.streams->set(static_cast<double>(streams_.size()));
 }
 
 }  // namespace tagbreathe::core

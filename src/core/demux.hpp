@@ -16,6 +16,12 @@
 #include "core/tag_registry.hpp"
 #include "core/types.hpp"
 
+namespace tagbreathe::obs {
+class Observability;
+class Counter;
+class Gauge;
+}  // namespace tagbreathe::obs
+
 namespace tagbreathe::core {
 
 /// Identity of one differencable phase stream.
@@ -115,6 +121,11 @@ class StreamDemux {
   /// Returns the number of reads released.
   std::size_t drop_user(std::uint64_t user_id);
 
+  /// Registers demux instruments on `hub` and mirrors future counter
+  /// changes onto them. Registration may allocate; add() stays
+  /// allocation-free afterwards.
+  void bind_observability(obs::Observability& hub);
+
  private:
   bool is_monitored(std::uint64_t user_id) const noexcept;
 
@@ -126,6 +137,14 @@ class StreamDemux {
   std::size_t ignored_ = 0;
   std::size_t shed_ = 0;
   std::size_t max_reads_per_stream_ = 0;
+
+  // Null until bind_observability; `accepted` is the is-bound sentinel.
+  struct Instruments {
+    obs::Counter* accepted = nullptr;
+    obs::Counter* ignored = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Gauge* streams = nullptr;
+  } obs_;
 };
 
 }  // namespace tagbreathe::core

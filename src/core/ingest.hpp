@@ -44,6 +44,13 @@
 #include "core/pipeline.hpp"
 #include "core/types.hpp"
 
+namespace tagbreathe::obs {
+class Observability;
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace tagbreathe::obs
+
 namespace tagbreathe::core {
 
 /// What the queue does when a producer pushes into a full buffer.
@@ -168,6 +175,12 @@ class IngestQueue {
   /// Snapshot of the counters (taken under the queue lock).
   IngestQueueCounters counters() const;
 
+  /// Registers the queue's instruments (ingest_queue_* counters, depth
+  /// gauge, delay histogram) on the hub and mirrors every subsequent
+  /// counter update onto them. Wiring time only — bind before
+  /// producers start. The hub must outlive the queue.
+  void bind_observability(obs::Observability& hub);
+
  private:
   struct Slot {
     TagRead read;
@@ -176,6 +189,20 @@ class IngestQueue {
 
   EnqueueResult push_locked(const TagRead& read, double now_s);
 
+  /// Registry handles (null until bind_observability; updates are
+  /// lock-free atomics, guarded by a single null check on `enqueued`).
+  struct Instruments {
+    obs::Counter* enqueued = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* coalesced = nullptr;
+    obs::Counter* would_block = nullptr;
+    obs::Counter* blocked = nullptr;
+    obs::Counter* closed_rejects = nullptr;
+    obs::Counter* drained = nullptr;
+    obs::Gauge* depth = nullptr;
+    obs::Histogram* delay = nullptr;
+  };
+
   const std::size_t capacity_;
   const BackpressurePolicy policy_;
   mutable std::mutex mutex_;
@@ -183,6 +210,7 @@ class IngestQueue {
   common::RingBuffer<Slot> buffer_;
   bool closed_ = false;
   IngestQueueCounters counters_;
+  Instruments obs_;
 };
 
 /// Serializable image of a validator (core/snapshot): the admission
@@ -234,6 +262,11 @@ class ReadValidator {
   ValidatorState export_state() const;
   void import_state(const ValidatorState& state);
 
+  /// Registers the validator's instruments (ingest_admitted_total,
+  /// per-reason ingest_quarantined_total, tracked-users gauge) and
+  /// mirrors subsequent verdicts onto them. Wiring time only.
+  void bind_observability(obs::Observability& hub);
+
  private:
   struct StreamState {
     double last_time_s = 0.0;
@@ -248,6 +281,15 @@ class ReadValidator {
 
   Verdict quarantine(QuarantineReason reason);
   void touch_user(std::uint64_t user_id);
+
+  struct Instruments {
+    obs::Counter* admitted = nullptr;
+    obs::Counter* repaired = nullptr;
+    obs::Counter* quarantined[kQuarantineReasonCount] = {};
+    obs::Counter* users_evicted = nullptr;
+    obs::Gauge* tracked_users = nullptr;
+  };
+  Instruments obs_;
 
   IngestConfig config_;
   ValidationCounters counters_;
@@ -296,6 +338,11 @@ class IngestFrontEnd {
   }
   IngestQueueCounters queue_counters() const { return queue_.counters(); }
   RealtimePipeline& pipeline() noexcept { return pipeline_; }
+
+  /// Binds the queue and the validator to the hub. The pipeline is not
+  /// bound here — it is caller-owned; bind it separately
+  /// (RealtimePipeline::bind_observability) or via DurableMonitor.
+  void bind_observability(obs::Observability& hub);
 
  private:
   IngestQueue queue_;

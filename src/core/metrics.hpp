@@ -54,9 +54,19 @@ struct DurabilityCounters {
 
 /// Eq. 8: accuracy = 1 − |R̂ − R| / R. Clamped to [0, 1] (a wildly wrong
 /// estimate cannot score below zero, matching how such plots are read).
+///
+/// Edge contract (tested in test_rate_metrics):
+/// - true_bpm <= 0 (including negative): the relative error is
+///   undefined, so the score is exact-match only — 1 when the estimate
+///   is exactly 0, else 0. No division by zero ever happens.
+/// - NaN in either argument (with true_bpm > 0 or true_bpm NaN)
+///   propagates: the result is NaN, never silently clamped to a valid
+///   score. Callers averaging accuracies must filter non-finite inputs.
+/// - Every finite result lies in [0, 1]; a negative estimate against a
+///   positive truth just clamps to 0.
 double breathing_rate_accuracy(double estimated_bpm, double true_bpm) noexcept;
 
-/// Absolute error in breaths per minute.
+/// Absolute error in breaths per minute. |est − true|; NaN propagates.
 double rate_error_bpm(double estimated_bpm, double true_bpm) noexcept;
 
 /// Mean Eq. 8 accuracy over paired estimates/truths.

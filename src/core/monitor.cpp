@@ -3,7 +3,24 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/observability.hpp"
+
 namespace tagbreathe::core {
+
+namespace {
+
+/// Emits the "monitor.analyze" Exit event on every return path.
+struct AnalyzeTraceGuard {
+  obs::Observability* hub;
+  std::uint16_t stage;
+  double t1;
+  std::uint64_t user_id;
+  ~AnalyzeTraceGuard() {
+    if (hub != nullptr) hub->trace().exit(stage, t1, user_id);
+  }
+};
+
+}  // namespace
 
 BreathMonitor::BreathMonitor(MonitorConfig config)
     : config_(std::move(config)) {
@@ -46,6 +63,10 @@ UserAnalysis BreathMonitor::analyze_user(const StreamDemux& demux,
   UserAnalysis out;
   out.user_id = user_id;
   out.window_s = std::max(t1 - t0, 0.0);
+
+  if (obs_.hub != nullptr)
+    obs_.hub->trace().enter(obs_.trace_stage, t1, user_id);
+  AnalyzeTraceGuard trace_guard{obs_.hub, obs_.trace_stage, t1, user_id};
 
   const auto all_streams = demux.streams_for_user(user_id);
   if (all_streams.empty()) return out;
@@ -108,6 +129,16 @@ UserAnalysis BreathMonitor::analyze_user(const StreamDemux& demux,
     working = {*busiest};
   }
 
+  // Stage timings read the hub's latency clock once per boundary; with
+  // the hub unbound `stage_mark` stays 0 and no histogram is touched.
+  double stage_mark = obs_.hub != nullptr ? obs_.hub->now() : 0.0;
+  const auto time_stage = [&](obs::Histogram* h) {
+    if (obs_.hub == nullptr) return;
+    const double now = obs_.hub->now();
+    h->observe(now - stage_mark);
+    stage_mark = now;
+  };
+
   // Phase preprocessing per stream (Eqs. 3-4).
   std::vector<std::vector<signal::TimedSample>> delta_streams;
   delta_streams.reserve(working.size());
@@ -117,22 +148,40 @@ UserAnalysis BreathMonitor::analyze_user(const StreamDemux& demux,
     out.reads_used += stream->size();
   }
   out.streams_used = delta_streams.size();
+  time_stage(obs_.preprocess);
 
   // Low-level fusion (Eqs. 6-7) over the window.
   const FusedTrack fused =
       fuse_streams(delta_streams, t0, t1, config_.fusion);
   out.fused_track = fused.track;
   out.track_rate_hz = fused.sample_rate_hz();
+  time_stage(obs_.fuse);
   if (out.fused_track.size() < 8) return out;
 
   // Breath-signal extraction + rate estimation.
   const BreathExtractor extractor(config_.extractor);
   out.breath = extractor.extract(out.fused_track, out.track_rate_hz,
                                  scratch != nullptr ? &scratch->fft : nullptr);
+  time_stage(obs_.extract);
 
   const ZeroCrossingRateEstimator estimator(config_.rate);
   out.rate = estimator.estimate(out.breath.samples);
+  time_stage(obs_.estimate);
   return out;
+}
+
+void BreathMonitor::bind_observability(obs::Observability& hub) {
+  obs::MetricsRegistry& m = hub.metrics();
+  const auto bounds = obs::default_latency_bounds();
+  obs_.preprocess =
+      &m.histogram("analysis_stage_seconds", bounds, "stage", "preprocess");
+  obs_.fuse = &m.histogram("analysis_stage_seconds", bounds, "stage", "fuse");
+  obs_.extract =
+      &m.histogram("analysis_stage_seconds", bounds, "stage", "extract");
+  obs_.estimate =
+      &m.histogram("analysis_stage_seconds", bounds, "stage", "estimate");
+  obs_.trace_stage = hub.trace().register_stage("monitor.analyze");
+  obs_.hub = &hub;
 }
 
 }  // namespace tagbreathe::core

@@ -23,6 +23,11 @@
 #include "core/types.hpp"
 #include "signal/spectrum.hpp"
 
+namespace tagbreathe::obs {
+class Observability;
+class Histogram;
+}  // namespace tagbreathe::obs
+
 namespace tagbreathe::core {
 
 struct MonitorConfig {
@@ -114,8 +119,28 @@ class BreathMonitor {
 
   const MonitorConfig& config() const noexcept { return config_; }
 
+  /// Registers per-stage latency histograms
+  /// (analysis_stage_seconds{stage=preprocess|fuse|extract|estimate})
+  /// and a "monitor.analyze" trace stage on `hub`. Registration may
+  /// allocate; the instrumented analyze_user path does not. Durations
+  /// come from the hub's latency clock; trace events are stamped with
+  /// the window-end stream time.
+  void bind_observability(obs::Observability& hub);
+
  private:
   MonitorConfig config_;
+
+  // Null until bind_observability; `hub` is the is-bound sentinel.
+  // Updated from concurrent analyze_user calls — instruments are atomic,
+  // the trace ring takes its own short lock.
+  struct Instruments {
+    obs::Observability* hub = nullptr;
+    obs::Histogram* preprocess = nullptr;
+    obs::Histogram* fuse = nullptr;
+    obs::Histogram* extract = nullptr;
+    obs::Histogram* estimate = nullptr;
+    std::uint16_t trace_stage = 0;
+  } obs_;
 };
 
 }  // namespace tagbreathe::core

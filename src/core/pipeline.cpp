@@ -1,9 +1,12 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 #include <string>
+
+#include "obs/observability.hpp"
 
 namespace tagbreathe::core {
 
@@ -52,7 +55,38 @@ RealtimePipeline::RealtimePipeline(PipelineConfig config,
 }
 
 void RealtimePipeline::emit(const PipelineEvent& event) {
+  const auto kind = static_cast<std::size_t>(event.kind);
+  if (obs_.hub != nullptr && kind < std::size(obs_.events))
+    obs_.events[kind]->add();
   if (callback_) callback_(event);
+}
+
+void RealtimePipeline::bind_observability(obs::Observability& hub) {
+  monitor_.bind_observability(hub);
+  demux_.bind_observability(hub);
+  obs::MetricsRegistry& m = hub.metrics();
+  obs_.updates = &m.counter("pipeline_updates_total");
+  obs_.analyses = &m.counter("pipeline_analyses_total");
+  obs_.skipped = &m.counter("pipeline_analyses_skipped_total");
+  obs_.evicted = &m.counter("pipeline_users_evicted_total");
+  for (std::size_t i = 0; i < std::size(obs_.events); ++i) {
+    obs_.events[i] =
+        &m.counter("pipeline_events_total", "kind",
+                   pipeline_event_name(static_cast<PipelineEventKind>(i)));
+  }
+  obs_.tracked = &m.gauge("pipeline_tracked_users");
+  obs_.update_seconds =
+      &m.histogram("pipeline_update_seconds", obs::default_latency_bounds());
+  static constexpr std::array<double, 9> kFanoutBounds = {
+      0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0};
+  obs_.fanout = &m.histogram("pipeline_fanout_users", kFanoutBounds);
+  obs_.trace_stage = hub.trace().register_stage("pipeline.update");
+  // Seed the mirrored series so a mid-run bind exports current truth.
+  obs_.analyses->set(analyses_run_);
+  obs_.skipped->set(analyses_skipped_);
+  obs_.evicted->set(users_evicted_);
+  obs_.tracked->set(static_cast<double>(user_state_.size()));
+  obs_.hub = &hub;
 }
 
 SignalHealth RealtimePipeline::health(std::uint64_t user_id) const noexcept {
@@ -90,6 +124,7 @@ void RealtimePipeline::push(const TagRead& read) {
     const std::uint64_t evicted = victim->first;
     forget_user(evicted);
     ++users_evicted_;
+    if (obs_.hub != nullptr) obs_.evicted->set(users_evicted_);
   }
   demux_.add(read);
   auto& state = user_state_[user];
@@ -146,6 +181,25 @@ void RealtimePipeline::advance_to(double time_s) {
 }
 
 void RealtimePipeline::update(double time_s) {
+  if (obs_.hub == nullptr) {
+    run_update(time_s);
+    return;
+  }
+  obs_.updates->add();
+  obs_.hub->trace().enter(obs_.trace_stage, time_s, user_state_.size());
+  const double mark = obs_.hub->now();
+  const std::size_t analyses_before = analyses_run_;
+  run_update(time_s);
+  obs_.update_seconds->observe(obs_.hub->now() - mark);
+  const std::size_t fanned_out = analyses_run_ - analyses_before;
+  obs_.fanout->observe(static_cast<double>(fanned_out));
+  obs_.analyses->set(analyses_run_);
+  obs_.skipped->set(analyses_skipped_);
+  obs_.tracked->set(static_cast<double>(user_state_.size()));
+  obs_.hub->trace().exit(obs_.trace_stage, time_s, fanned_out);
+}
+
+void RealtimePipeline::run_update(double time_s) {
   const double t0 = std::max(start_, time_s - config_.window_s);
   demux_.evict_before(t0 - 1.0);  // keep a small margin beyond the window
 

@@ -159,8 +159,15 @@ class RealtimePipeline {
   PipelineState export_state() const;
   void import_state(PipelineState state);
 
+  /// Registers pipeline instruments (update cadence, analysis fan-out,
+  /// event counts by kind, tracked-user occupancy) on `hub` and forwards
+  /// the bind to the wrapped monitor and demux. Registration may
+  /// allocate; the instrumented push/update path does not.
+  void bind_observability(obs::Observability& hub);
+
  private:
   void update(double time_s);
+  void run_update(double time_s);
   void emit(const PipelineEvent& event);
 
   PipelineConfig config_;
@@ -194,6 +201,22 @@ class RealtimePipeline {
   std::map<std::uint64_t, std::uint64_t> last_seen_reads_;
   std::size_t analyses_run_ = 0;
   std::size_t analyses_skipped_ = 0;
+
+  // Null until bind_observability; `hub` is the is-bound sentinel. The
+  // analyses/skipped/evicted counters mirror the size_t fields above
+  // (still the source of truth) via Counter::set at tick cadence.
+  struct Instruments {
+    obs::Observability* hub = nullptr;
+    obs::Counter* updates = nullptr;
+    obs::Counter* analyses = nullptr;
+    obs::Counter* skipped = nullptr;
+    obs::Counter* evicted = nullptr;
+    obs::Counter* events[4] = {};  // indexed by PipelineEventKind
+    obs::Gauge* tracked = nullptr;
+    obs::Histogram* update_seconds = nullptr;
+    obs::Histogram* fanout = nullptr;
+    std::uint16_t trace_stage = 0;
+  } obs_;
 };
 
 }  // namespace tagbreathe::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/ingest.hpp"
+#include "obs/observability.hpp"
 
 namespace tagbreathe::llrp {
 
@@ -44,6 +45,11 @@ void SessionSupervisor::enter(SessionState next, double now_s) {
   if (next == state_) return;
   state_ = next;
   ++health_.state_changes;
+  if (obs_.hub != nullptr) {
+    obs_.hub->trace().record(obs_.trace_stage, obs::SpanKind::Instant, now_s,
+                             static_cast<std::uint64_t>(next));
+    obs_.session_state->set(static_cast<double>(next));
+  }
   if (next == SessionState::Streaming || next == SessionState::Degraded) {
     // Probe promptly when entering a live state.
     next_keepalive_ = now_s;
@@ -129,6 +135,42 @@ void SessionSupervisor::drive_handshake(double now_s) {
   }
 }
 
+void SessionSupervisor::publish_health() {
+  if (obs_.hub == nullptr) return;
+  obs_.reconnects->set(health_.reconnects);
+  obs_.reconnect_failures->set(health_.reconnect_failures);
+  obs_.watchdog_fires->set(health_.watchdog_fires);
+  obs_.handshake_failures->set(health_.handshake_failures);
+  obs_.handshake_retransmits->set(health_.handshake_retransmits);
+  obs_.rearms->set(health_.rearm_count);
+  obs_.keepalives->set(health_.keepalives_sent);
+  obs_.state_changes->set(health_.state_changes);
+  obs_.session_state->set(static_cast<double>(state_));
+  for (std::size_t i = 0; i < kSessionStateCount; ++i)
+    obs_.time_in_state[i]->set(health_.time_in_state_s[i]);
+}
+
+void SessionSupervisor::bind_observability(obs::Observability& hub) {
+  obs::MetricsRegistry& m = hub.metrics();
+  obs_.reconnects = &m.counter("llrp_reconnects_total");
+  obs_.reconnect_failures = &m.counter("llrp_reconnect_failures_total");
+  obs_.watchdog_fires = &m.counter("llrp_watchdog_fires_total");
+  obs_.handshake_failures = &m.counter("llrp_handshake_failures_total");
+  obs_.handshake_retransmits = &m.counter("llrp_handshake_retransmits_total");
+  obs_.rearms = &m.counter("llrp_rearms_total");
+  obs_.keepalives = &m.counter("llrp_keepalives_sent_total");
+  obs_.state_changes = &m.counter("llrp_state_changes_total");
+  obs_.session_state = &m.gauge("llrp_session_state");
+  for (std::size_t i = 0; i < kSessionStateCount; ++i) {
+    obs_.time_in_state[i] =
+        &m.gauge("llrp_time_in_state_seconds", "state",
+                 session_state_name(static_cast<SessionState>(i)));
+  }
+  obs_.trace_stage = hub.trace().register_stage("llrp.session");
+  obs_.hub = &hub;
+  publish_health();
+}
+
 void SessionSupervisor::advance_to(double now_s) {
   now_s = std::max(now_s, last_now_);
   health_.time_in_state_s[static_cast<std::size_t>(state_)] +=
@@ -145,6 +187,7 @@ void SessionSupervisor::advance_to(double now_s) {
       state_ != SessionState::Disconnected) {
     enter(SessionState::Disconnected, now_s);
     schedule_retry(now_s);
+    publish_health();
     return;
   }
 
@@ -199,6 +242,7 @@ void SessionSupervisor::advance_to(double now_s) {
       break;
     }
   }
+  publish_health();
 }
 
 }  // namespace tagbreathe::llrp

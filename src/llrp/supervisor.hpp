@@ -34,6 +34,12 @@ namespace tagbreathe::core {
 class IngestQueue;
 }
 
+namespace tagbreathe::obs {
+class Observability;
+class Counter;
+class Gauge;
+}  // namespace tagbreathe::obs
+
 namespace tagbreathe::llrp {
 
 enum class SessionState : std::uint8_t {
@@ -122,7 +128,14 @@ class SessionSupervisor {
   /// Current reconnect delay (diagnostic; grows with failures).
   double backoff_s() const noexcept { return backoff_; }
 
+  /// Registers llrp_* instruments on `hub`. SupervisorHealth stays the
+  /// source of truth; the counters mirror it (Counter::set) at every
+  /// advance_to, and state transitions emit "llrp.session" Instant trace
+  /// events stamped with the supervisor's injected clock.
+  void bind_observability(obs::Observability& hub);
+
  private:
+  void publish_health();
   void enter(SessionState next, double now_s);
   void tear_down(double now_s);
   bool transport_connected() const noexcept;
@@ -149,6 +162,22 @@ class SessionSupervisor {
   double next_keepalive_ = 0.0;
   double last_traffic_s_ = 0.0;
   std::size_t traffic_counter_seen_ = 0;
+
+  // Null until bind_observability; `hub` is the is-bound sentinel.
+  struct Instruments {
+    obs::Observability* hub = nullptr;
+    obs::Counter* reconnects = nullptr;
+    obs::Counter* reconnect_failures = nullptr;
+    obs::Counter* watchdog_fires = nullptr;
+    obs::Counter* handshake_failures = nullptr;
+    obs::Counter* handshake_retransmits = nullptr;
+    obs::Counter* rearms = nullptr;
+    obs::Counter* keepalives = nullptr;
+    obs::Counter* state_changes = nullptr;
+    obs::Gauge* session_state = nullptr;
+    obs::Gauge* time_in_state[kSessionStateCount] = {};
+    std::uint16_t trace_stage = 0;
+  } obs_;
 };
 
 }  // namespace tagbreathe::llrp

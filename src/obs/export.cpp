@@ -1,0 +1,222 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+
+namespace tagbreathe::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+// Minimal JSON string escape: the names are charset-validated and the
+// label values are our own enum names, but a stray quote must not be
+// able to break the document.
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// `name{key="value"}` (or bare name), with an optional extra `le` pair
+// for histogram buckets.
+void append_prom_series(std::string& out, const std::string& name,
+                        const char* suffix, const std::string& label_key,
+                        const std::string& label_value, const char* le) {
+  out += name;
+  out += suffix;
+  const bool labelled = !label_key.empty();
+  if (labelled || le != nullptr) {
+    out += '{';
+    if (labelled) {
+      out += label_key;
+      out += "=\"";
+      out += label_value;
+      out += '"';
+      if (le != nullptr) out += ',';
+    }
+    if (le != nullptr) {
+      out += "le=\"";
+      out += le;
+      out += '"';
+    }
+    out += '}';
+  }
+  out += ' ';
+}
+
+void append_prom_type(std::string& out, std::string& last_family,
+                      const std::string& name, const char* type) {
+  if (name == last_family) return;  // one TYPE line per family
+  last_family = name;
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  return buf;
+}
+
+std::string to_prometheus(const ObservabilitySnapshot& snapshot) {
+  std::string out;
+  std::string family;
+  for (const CounterSample& c : snapshot.metrics.counters) {
+    append_prom_type(out, family, c.name, "counter");
+    append_prom_series(out, c.name, "", c.label_key, c.label_value, nullptr);
+    append_u64(out, c.value);
+    out += '\n';
+  }
+  for (const GaugeSample& g : snapshot.metrics.gauges) {
+    append_prom_type(out, family, g.name, "gauge");
+    append_prom_series(out, g.name, "", g.label_key, g.label_value, nullptr);
+    out += format_double(g.value);
+    out += '\n';
+  }
+  for (const HistogramSample& h : snapshot.metrics.histograms) {
+    append_prom_type(out, family, h.name, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      append_prom_series(out, h.name, "_bucket", h.label_key, h.label_value,
+                         format_double(h.bounds[i]).c_str());
+      append_u64(out, cumulative);
+      out += '\n';
+    }
+    append_prom_series(out, h.name, "_bucket", h.label_key, h.label_value,
+                       "+Inf");
+    append_u64(out, h.count);
+    out += '\n';
+    append_prom_series(out, h.name, "_sum", h.label_key, h.label_value,
+                       nullptr);
+    out += format_double(h.sum);
+    out += '\n';
+    append_prom_series(out, h.name, "_count", h.label_key, h.label_value,
+                       nullptr);
+    append_u64(out, h.count);
+    out += '\n';
+  }
+  // Trace ring health: enough for an alert on span loss without
+  // shipping the span log through a scrape.
+  out += "# TYPE obs_trace_events gauge\nobs_trace_events ";
+  append_u64(out, snapshot.trace.events.size());
+  out += "\n# TYPE obs_trace_dropped_total counter\nobs_trace_dropped_total ";
+  append_u64(out, snapshot.trace.dropped);
+  out += '\n';
+  return out;
+}
+
+std::string to_json(const ObservabilitySnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": [";
+  bool first = true;
+  for (const CounterSample& c : snapshot.metrics.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": ";
+    append_json_string(out, c.name);
+    if (!c.label_key.empty()) {
+      out += ", ";
+      append_json_string(out, c.label_key);
+      out += ": ";
+      append_json_string(out, c.label_value);
+    }
+    out += ", \"value\": ";
+    append_u64(out, c.value);
+    out += '}';
+  }
+  out += "\n  ],\n  \"gauges\": [";
+  first = true;
+  for (const GaugeSample& g : snapshot.metrics.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": ";
+    append_json_string(out, g.name);
+    if (!g.label_key.empty()) {
+      out += ", ";
+      append_json_string(out, g.label_key);
+      out += ": ";
+      append_json_string(out, g.label_value);
+    }
+    out += ", \"value\": ";
+    out += format_double(g.value);
+    out += '}';
+  }
+  out += "\n  ],\n  \"histograms\": [";
+  first = true;
+  for (const HistogramSample& h : snapshot.metrics.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": ";
+    append_json_string(out, h.name);
+    if (!h.label_key.empty()) {
+      out += ", ";
+      append_json_string(out, h.label_key);
+      out += ": ";
+      append_json_string(out, h.label_value);
+    }
+    out += ", \"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += format_double(h.bounds[i]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      append_u64(out, h.counts[i]);
+    }
+    out += "], \"count\": ";
+    append_u64(out, h.count);
+    out += ", \"sum\": ";
+    out += format_double(h.sum);
+    out += '}';
+  }
+  out += "\n  ],\n  \"trace\": {\"capacity\": ";
+  append_u64(out, snapshot.trace.capacity);
+  out += ", \"dropped\": ";
+  append_u64(out, snapshot.trace.dropped);
+  out += ", \"events\": [";
+  first = true;
+  for (const TraceEvent& e : snapshot.trace.events) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"stage\": ";
+    append_json_string(out, e.stage < snapshot.trace.stages.size()
+                                ? snapshot.trace.stages[e.stage]
+                                : std::string("?"));
+    out += ", \"kind\": \"";
+    out += span_kind_name(e.kind);
+    out += "\", \"t\": ";
+    out += format_double(e.time_s);
+    out += ", \"value\": ";
+    append_u64(out, e.value);
+    out += '}';
+  }
+  out += "\n  ]}\n}\n";
+  return out;
+}
+
+}  // namespace tagbreathe::obs

@@ -1,0 +1,33 @@
+// Snapshot exporters: Prometheus text exposition format and JSON.
+//
+// Both render from a plain ObservabilitySnapshot (never from live
+// instruments), so an export is a pure function of the snapshot and two
+// identical snapshots serialize byte-identically — the golden
+// determinism test compares whole exports with ==. Doubles are
+// formatted with a fixed "%.9g" everywhere; sample order is the
+// registry's sorted (name, label) order.
+//
+// Prometheus output carries the metrics plus the trace ring's health
+// (event count + drop counter) as synthetic gauges; the individual
+// trace events are exported by the JSON form only (a scrape endpoint
+// has no business shipping a span log).
+#pragma once
+
+#include <string>
+
+#include "obs/observability.hpp"
+
+namespace tagbreathe::obs {
+
+/// Prometheus text exposition format (one # TYPE line per family,
+/// histogram as _bucket/_sum/_count with cumulative le buckets).
+std::string to_prometheus(const ObservabilitySnapshot& snapshot);
+
+/// JSON: {"counters": [...], "gauges": [...], "histograms": [...],
+/// "trace": {"capacity", "dropped", "events": [...]}}.
+std::string to_json(const ObservabilitySnapshot& snapshot);
+
+/// Fixed deterministic rendering of one double ("%.9g").
+std::string format_double(double value);
+
+}  // namespace tagbreathe::obs

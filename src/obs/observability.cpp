@@ -1,0 +1,48 @@
+#include "obs/observability.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+
+namespace tagbreathe::obs {
+
+namespace {
+
+double steady_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double>(clock::now() - epoch).count();
+}
+
+}  // namespace
+
+Observability::Observability(std::size_t trace_capacity)
+    : trace_(trace_capacity), clock_(&steady_seconds) {}
+
+void Observability::set_clock(std::function<double()> clock) {
+  if (!clock) throw std::invalid_argument("obs: clock must be callable");
+  clock_ = std::move(clock);
+}
+
+void Observability::use_deterministic_clock(double step_s) {
+  auto ticks = std::make_shared<std::atomic<std::uint64_t>>(0);
+  set_clock([ticks, step_s]() {
+    return step_s *
+           static_cast<double>(ticks->fetch_add(1, std::memory_order_relaxed));
+  });
+}
+
+ObservabilitySnapshot Observability::snapshot() const {
+  ObservabilitySnapshot snap;
+  snap.metrics = metrics_.snapshot();
+  snap.trace = trace_.snapshot();
+  return snap;
+}
+
+Observability& Observability::global() {
+  static Observability instance;
+  return instance;
+}
+
+}  // namespace tagbreathe::obs

@@ -1,0 +1,70 @@
+// The unified observability hub: one MetricsRegistry + one TraceRing +
+// the latency clock, bundled so a component binds to a single object
+// (`bind_observability(obs&)`) and tests swap the whole surface in one
+// move.
+//
+// The clock: stage-latency histograms need durations, but wall-clock
+// durations would make exported snapshots nondeterministic under the
+// replay clock. now() is therefore injectable — production uses the
+// default steady_clock, determinism tests install a counting clock
+// (use_deterministic_clock) whose reading advances a fixed step per
+// call, making every recorded duration a pure function of the call
+// sequence. Trace events are always stamped with *stream time* passed
+// by the caller and never consult this clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace tagbreathe::obs {
+
+struct ObservabilitySnapshot {
+  MetricsSnapshot metrics;
+  TraceSnapshot trace;
+};
+
+class Observability {
+ public:
+  /// `trace_capacity`: bounded span-event ring size.
+  explicit Observability(std::size_t trace_capacity = 4096);
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+  const MetricsRegistry& metrics() const noexcept { return metrics_; }
+  TraceRing& trace() noexcept { return trace_; }
+  const TraceRing& trace() const noexcept { return trace_; }
+
+  /// Latency clock reading [seconds]. Thread-safe; allocation-free.
+  double now() const { return clock_(); }
+
+  /// Replaces the latency clock (wiring time only — not while
+  /// instrumented code is running). The callable must be thread-safe.
+  void set_clock(std::function<double()> clock);
+
+  /// Installs a deterministic counting clock: each now() call advances
+  /// the reading by `step_s`. With a serial (single-threaded) pipeline
+  /// the call sequence is data-dependent only, so latency histograms
+  /// become byte-stable across runs — the golden-snapshot determinism
+  /// test runs under this clock.
+  void use_deterministic_clock(double step_s = 1e-6);
+
+  /// Consistent-enough point-in-time copy of metrics + trace (each side
+  /// is internally consistent; the two are read back to back).
+  ObservabilitySnapshot snapshot() const;
+
+  /// Process-wide default hub (examples and ad-hoc tooling; libraries
+  /// take an explicit hub so tests stay isolated).
+  static Observability& global();
+
+ private:
+  MetricsRegistry metrics_;
+  TraceRing trace_;
+  std::function<double()> clock_;
+};
+
+}  // namespace tagbreathe::obs

@@ -1,0 +1,172 @@
+// Process-wide metrics registry: the counter/gauge/histogram spine the
+// runtime surfaces hang off (ISSUE 5; the serving-stack observability
+// the ROADMAP's production north-star requires).
+//
+// Contract, enforced throughout:
+//
+// - Registration (counter()/gauge()/histogram()) is find-or-create
+//   under a mutex and may allocate; it happens once, at wiring time.
+// - Instrument *updates* (Counter::add, Gauge::set, Histogram::observe)
+//   are lock-free relaxed atomics on stable storage and never allocate,
+//   so they are safe on the pipeline hot path (the counting-operator-new
+//   gate in test_analysis_engine asserts this) and from any thread (the
+//   TSan `concurrency` suite hammers them).
+// - snapshot() copies every instrument's current value under the
+//   registration mutex into plain structs, sorted by (name, label), so
+//   exports are deterministic for deterministic inputs.
+//
+// Names must match the Prometheus charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+// One optional label pair per instrument covers the fleet's needs
+// (quarantine reason, analysis stage, event kind) without dragging in a
+// full label-set model.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tagbreathe::obs {
+
+/// Monotonic event count. set() exists for migration of pre-existing
+/// counter structs (core/metrics DurabilityCounters) that stay the
+/// source of truth and are mirrored onto the registry at pump cadence.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void set(std::uint64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time level (queue depth, tracked users).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) noexcept { value_.fetch_add(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket distribution with Prometheus `le` semantics: a value
+/// lands in the first bucket whose upper bound is >= the value, or in
+/// the implicit +Inf overflow bucket past the last bound. Bounds are
+/// fixed at registration; observe() is a linear scan (bucket counts are
+/// small) plus two relaxed atomics — allocation-free and thread-safe.
+/// NaN observations are counted in the overflow bucket and excluded
+/// from the sum so one poisoned sample cannot erase the distribution.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> bounds);
+
+  void observe(double value) noexcept;
+
+  std::size_t buckets() const noexcept { return bounds_.size() + 1; }
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;  // ascending, finite, unique
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  // bounds + overflow
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default upper bounds for latency-shaped histograms [seconds].
+std::span<const double> default_latency_bounds() noexcept;
+
+// --- snapshot-on-read ------------------------------------------------------
+
+struct CounterSample {
+  std::string name;
+  std::string label_key;    // empty = unlabelled
+  std::string label_value;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::string label_key;
+  std::string label_value;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::string label_key;
+  std::string label_value;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 (overflow last)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Plain-struct copy of every registered instrument, sorted by
+/// (name, label_value): deterministic input => byte-stable exports.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  // Out of line: Entry is incomplete here, so every special member that
+  // could instantiate the entry map's node machinery must live in the
+  // .cpp, after Entry's definition.
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. The returned reference is stable for the life of
+  /// the registry. Throws std::invalid_argument on a malformed name or
+  /// when the name is already registered as a different kind (or, for
+  /// histograms, with different bounds).
+  Counter& counter(std::string_view name, std::string_view label_key = {},
+                   std::string_view label_value = {});
+  Gauge& gauge(std::string_view name, std::string_view label_key = {},
+               std::string_view label_value = {});
+  Histogram& histogram(std::string_view name, std::span<const double> bounds,
+                       std::string_view label_key = {},
+                       std::string_view label_value = {});
+
+  MetricsSnapshot snapshot() const;
+  std::size_t size() const;
+
+ private:
+  struct Entry;
+  Entry& find_or_create(std::string_view name, std::string_view label_key,
+                        std::string_view label_value, int kind);
+
+  mutable std::mutex mutex_;
+  // Keyed by (name, label_value): map iteration gives the sorted
+  // snapshot order for free; unique_ptr keeps instrument addresses
+  // stable across rehash-free map growth.
+  std::map<std::pair<std::string, std::string>, std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace tagbreathe::obs

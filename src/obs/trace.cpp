@@ -1,0 +1,72 @@
+#include "obs/trace.hpp"
+
+#include <stdexcept>
+
+namespace tagbreathe::obs {
+
+const char* span_kind_name(SpanKind kind) noexcept {
+  switch (kind) {
+    case SpanKind::Enter: return "enter";
+    case SpanKind::Exit: return "exit";
+    case SpanKind::Instant: return "instant";
+    default: return "unknown-kind";
+  }
+}
+
+TraceRing::TraceRing(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0)
+    throw std::invalid_argument("obs: trace ring capacity must be positive");
+  ring_.resize(capacity_);
+}
+
+std::uint16_t TraceRing::register_stage(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (stages_[i] == name) return static_cast<std::uint16_t>(i);
+  }
+  if (stages_.size() >= 0xFFFF)
+    throw std::length_error("obs: trace stage table full");
+  stages_.emplace_back(name);
+  return static_cast<std::uint16_t>(stages_.size() - 1);
+}
+
+void TraceRing::record(std::uint16_t stage, SpanKind kind, double time_s,
+                       std::uint64_t value) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t slot;
+  if (size_ < capacity_) {
+    slot = size_;
+    ++size_;
+  } else {
+    slot = head_;
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+  ring_[slot] = TraceEvent{stage, kind, time_s, value};
+}
+
+TraceSnapshot TraceRing::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceSnapshot snap;
+  snap.stages = stages_;
+  snap.dropped = dropped_;
+  snap.capacity = capacity_;
+  snap.events.reserve(size_);
+  // Oldest first: once the ring has wrapped, the oldest slot is head_.
+  const std::size_t start = size_ < capacity_ ? 0 : head_;
+  for (std::size_t i = 0; i < size_; ++i)
+    snap.events.push_back(ring_[(start + i) % capacity_]);
+  return snap;
+}
+
+std::size_t TraceRing::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return size_;
+}
+
+std::uint64_t TraceRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+}  // namespace tagbreathe::obs

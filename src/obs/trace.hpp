@@ -1,0 +1,80 @@
+// Lightweight structured trace: a bounded ring of span events (stage
+// enter/exit/instant) stamped with *stream time*, the same injected
+// clock that drives the pipeline. Stream-time stamps keep traces
+// deterministic under the replay clock — two runs of one seeded
+// scenario produce byte-identical trace exports (the golden-snapshot
+// test relies on this; parallel analysis fan-out interleaves worker
+// events nondeterministically, so determinism gates run serial).
+//
+// Hot-path rules: stage *registration* allocates (the string table and
+// ring are sized up front); record() is a short mutex hold writing one
+// fixed-size slot, never allocating. A full ring overwrites the oldest
+// event and counts the overwrite in dropped() rather than growing or
+// silently losing the fact.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tagbreathe::obs {
+
+enum class SpanKind : std::uint8_t { Enter = 0, Exit = 1, Instant = 2 };
+
+const char* span_kind_name(SpanKind kind) noexcept;
+
+struct TraceEvent {
+  std::uint16_t stage = 0;  // index from TraceRing::register_stage
+  SpanKind kind = SpanKind::Instant;
+  double time_s = 0.0;      // stream time
+  std::uint64_t value = 0;  // free-form detail (user id, fan-out size)
+};
+
+struct TraceSnapshot {
+  std::vector<std::string> stages;  // index = TraceEvent::stage
+  std::vector<TraceEvent> events;   // oldest first
+  std::uint64_t dropped = 0;        // events overwritten by ring wrap
+  std::size_t capacity = 0;
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity);
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Find-or-create a stage id for `name` (wiring time; allocates).
+  std::uint16_t register_stage(std::string_view name);
+
+  /// Appends one event (any thread; allocation-free). Unregistered
+  /// stage ids are recorded as-is and render as "?" in exports.
+  void record(std::uint16_t stage, SpanKind kind, double time_s,
+              std::uint64_t value = 0) noexcept;
+  void enter(std::uint16_t stage, double time_s,
+             std::uint64_t value = 0) noexcept {
+    record(stage, SpanKind::Enter, time_s, value);
+  }
+  void exit(std::uint16_t stage, double time_s,
+            std::uint64_t value = 0) noexcept {
+    record(stage, SpanKind::Exit, time_s, value);
+  }
+
+  TraceSnapshot snapshot() const;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const;
+  std::uint64_t dropped() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;  // preallocated to capacity_
+  std::size_t head_ = 0;          // next write slot once full
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<std::string> stages_;
+};
+
+}  // namespace tagbreathe::obs

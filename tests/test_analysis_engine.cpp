@@ -22,6 +22,7 @@
 #include "core/chaos.hpp"
 #include "core/monitor.hpp"
 #include "core/pipeline.hpp"
+#include "obs/observability.hpp"
 #include "signal/fft.hpp"
 #include "signal/spectrum.hpp"
 
@@ -469,6 +470,81 @@ TEST(ParallelEngine, ConfigValidationBoundsThreadCount) {
   EXPECT_THROW(core::RealtimePipeline{cfg}, std::invalid_argument);
   cfg.analysis_threads = 2;
   EXPECT_NO_THROW(core::RealtimePipeline{cfg});
+}
+
+// --- observability zero-allocation gate -------------------------------------
+// Instrument *updates* (Counter::add, Gauge::set, Histogram::observe,
+// TraceRing::record) must never allocate; only registration may. The
+// direct test asserts the primitive contract; the pipeline test drives
+// a bound and an unbound pipeline through the identical feed and
+// requires the bound one to allocate not a single call more —
+// instrumentation rides the hot path for free after bind.
+
+TEST(ObsZeroAlloc, InstrumentUpdatesAreAllocationFree) {
+  obs::Observability hub(256);
+  obs::Counter& c = hub.metrics().counter("gate_total");
+  obs::Gauge& g = hub.metrics().gauge("gate_depth");
+  obs::Histogram& h =
+      hub.metrics().histogram("gate_seconds", obs::default_latency_bounds());
+  const std::uint16_t stage = hub.trace().register_stage("gate");
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 10000; ++i) {
+    c.add();
+    g.set(static_cast<double>(i));
+    h.observe(1e-4 * static_cast<double>(i));
+    hub.trace().record(stage, obs::SpanKind::Instant,
+                       static_cast<double>(i), 7);
+    (void)hub.now();
+  }
+  EXPECT_EQ(g_allocations.load() - before, 0u);
+}
+
+TEST(ObsZeroAlloc, InstrumentedPipelineAllocatesNoMoreThanBare) {
+  const auto drive = [](core::RealtimePipeline& pipeline, double from,
+                        double to) {
+    for (double t = from; t < to; t += 0.125) {
+      for (std::uint64_t user = 1; user <= 2; ++user) {
+        core::TagRead r;
+        r.time_s = t + 0.01 * static_cast<double>(user);
+        r.epc = rfid::Epc96::from_user_tag(user, 1);
+        r.antenna_id = 1;
+        r.frequency_hz = 920.625e6;
+        r.rssi_dbm = -55.0;
+        r.phase_rad = common::wrap_phase_2pi(
+            1.0 + 0.3 * std::sin(common::kTwoPi * 0.2 * t +
+                                 static_cast<double>(user)));
+        pipeline.push(r);
+      }
+    }
+  };
+
+  core::PipelineConfig cfg;
+  cfg.window_s = 12.0;
+  cfg.warmup_s = 4.0;
+  cfg.update_period_s = 1.0;
+
+  obs::Observability hub(1 << 12);
+  hub.use_deterministic_clock();
+  core::RealtimePipeline bare(cfg);
+  core::RealtimePipeline bound(cfg);
+  bound.bind_observability(hub);
+
+  // Warm both to steady state (windows full, scratch arenas sized).
+  drive(bare, 0.0, 30.0);
+  drive(bound, 0.0, 30.0);
+
+  // Identical feeds from here on: any allocation difference is the
+  // instrumentation's fault.
+  const std::uint64_t before_bare = g_allocations.load();
+  drive(bare, 30.0, 45.0);
+  const std::uint64_t bare_allocs = g_allocations.load() - before_bare;
+
+  const std::uint64_t before_bound = g_allocations.load();
+  drive(bound, 30.0, 45.0);
+  const std::uint64_t bound_allocs = g_allocations.load() - before_bound;
+
+  EXPECT_EQ(bound_allocs, bare_allocs);
 }
 
 }  // namespace

@@ -1,0 +1,644 @@
+// Unified observability layer (src/obs): registry find-or-create
+// semantics, the histogram bucket contract, trace-ring bounds, exporter
+// byte formats, merge-law property tests for the counter structs the
+// registry mirrors, and the golden-snapshot determinism gate (a seeded
+// chaos soak exports byte-identical Prometheus/JSON twice).
+//
+// Thread-hammering tests carry the `concurrency` label with the rest of
+// the file so the TSan CI job covers the lock-free instrument updates.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/chaos.hpp"
+#include "core/metrics.hpp"
+#include "core/recovery.hpp"
+#include "obs/export.hpp"
+#include "obs/observability.hpp"
+
+namespace tagbreathe {
+namespace {
+
+using obs::Observability;
+using obs::TraceRing;
+
+// --- registry --------------------------------------------------------------
+
+TEST(Registry, FindOrCreateReturnsStableInstance) {
+  obs::MetricsRegistry m;
+  obs::Counter& a = m.counter("reads_total");
+  a.add(3);
+  obs::Counter& b = m.counter("reads_total");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(Registry, KindClashThrows) {
+  obs::MetricsRegistry m;
+  m.counter("x_total");
+  EXPECT_THROW(m.gauge("x_total"), std::invalid_argument);
+  EXPECT_THROW(m.histogram("x_total", obs::default_latency_bounds()),
+               std::invalid_argument);
+}
+
+TEST(Registry, MalformedNamesThrow) {
+  obs::MetricsRegistry m;
+  EXPECT_THROW(m.counter(""), std::invalid_argument);
+  EXPECT_THROW(m.counter("9leading_digit"), std::invalid_argument);
+  EXPECT_THROW(m.counter("has space"), std::invalid_argument);
+  EXPECT_THROW(m.counter("has-dash"), std::invalid_argument);
+  EXPECT_NO_THROW(m.counter("ok_name:subsystem_total"));
+}
+
+TEST(Registry, LabelPairsAreDistinctSeries) {
+  obs::MetricsRegistry m;
+  obs::Counter& a = m.counter("q_total", "reason", "alpha");
+  obs::Counter& b = m.counter("q_total", "reason", "beta");
+  EXPECT_NE(&a, &b);
+  a.add(1);
+  b.add(2);
+  EXPECT_EQ(m.counter("q_total", "reason", "alpha").value(), 1u);
+  // Key without value (and vice versa) is rejected.
+  EXPECT_THROW(m.counter("q_total", "reason", ""), std::invalid_argument);
+}
+
+TEST(Registry, HistogramReRegistrationChecksBounds) {
+  obs::MetricsRegistry m;
+  const double bounds[] = {1.0, 2.0};
+  obs::Histogram& h = m.histogram("lat_seconds", bounds);
+  EXPECT_EQ(&m.histogram("lat_seconds", bounds), &h);
+  const double other[] = {1.0, 3.0};
+  EXPECT_THROW(m.histogram("lat_seconds", other), std::invalid_argument);
+}
+
+TEST(Registry, SnapshotSortedByNameThenLabel) {
+  obs::MetricsRegistry m;
+  m.counter("zz_total").add(1);
+  m.counter("aa_total").add(2);
+  m.counter("mm_total", "kind", "b").add(3);
+  m.counter("mm_total", "kind", "a").add(4);
+  const obs::MetricsSnapshot snap = m.snapshot();
+  ASSERT_EQ(snap.counters.size(), 4u);
+  EXPECT_EQ(snap.counters[0].name, "aa_total");
+  EXPECT_EQ(snap.counters[1].name, "mm_total");
+  EXPECT_EQ(snap.counters[1].label_value, "a");
+  EXPECT_EQ(snap.counters[2].label_value, "b");
+  EXPECT_EQ(snap.counters[3].name, "zz_total");
+}
+
+TEST(Registry, GaugeSetAndAdd) {
+  obs::MetricsRegistry m;
+  obs::Gauge& g = m.gauge("depth");
+  g.set(4.0);
+  g.add(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+}
+
+// --- histogram bucket contract ---------------------------------------------
+
+TEST(Histogram, BoundaryValuesLandInLeBucket) {
+  const double bounds[] = {1.0, 2.0, 4.0};
+  obs::Histogram h{std::span<const double>(bounds)};
+  h.observe(1.0);   // le="1" exactly on the bound
+  h.observe(1.5);   // le="2"
+  h.observe(2.0);   // le="2" exactly on the bound
+  h.observe(4.0);   // le="4"
+  h.observe(0.0);   // le="1"
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 0u);  // overflow untouched
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 8.5);
+}
+
+TEST(Histogram, OverflowBucketTakesOutOfRange) {
+  const double bounds[] = {1.0};
+  obs::Histogram h{std::span<const double>(bounds)};
+  h.observe(1.0000001);
+  h.observe(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.bucket_count(0), 0u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(Histogram, NanCountedInOverflowExcludedFromSum) {
+  const double bounds[] = {1.0};
+  obs::Histogram h{std::span<const double>(bounds)};
+  h.observe(0.5);
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5);  // NaN never poisons the sum
+}
+
+TEST(Histogram, InvalidBoundsThrow) {
+  const std::vector<double> empty;
+  EXPECT_THROW(obs::Histogram{std::span<const double>(empty)},
+               std::invalid_argument);
+  const double descending[] = {2.0, 1.0};
+  EXPECT_THROW(obs::Histogram{std::span<const double>(descending)},
+               std::invalid_argument);
+  const double duplicate[] = {1.0, 1.0};
+  EXPECT_THROW(obs::Histogram{std::span<const double>(duplicate)},
+               std::invalid_argument);
+  const double infinite[] = {1.0, std::numeric_limits<double>::infinity()};
+  EXPECT_THROW(obs::Histogram{std::span<const double>(infinite)},
+               std::invalid_argument);
+}
+
+// TSan coverage of the lock-free update paths: concurrent adds,
+// sets and observes against one registry, plus trace recording.
+TEST(Concurrency, InstrumentsAreThreadSafe) {
+  Observability hub(1024);
+  obs::Counter& c = hub.metrics().counter("hammer_total");
+  obs::Gauge& g = hub.metrics().gauge("hammer_depth");
+  const double bounds[] = {0.25, 0.5, 0.75};
+  obs::Histogram& h = hub.metrics().histogram("hammer_seconds", bounds);
+  const std::uint16_t stage = hub.trace().register_stage("hammer");
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      common::Rng rng(0x0B5 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kIters; ++i) {
+        c.add();
+        g.set(static_cast<double>(i));
+        h.observe(rng.uniform());
+        if (i % 64 == 0)
+          hub.trace().record(stage, obs::SpanKind::Instant,
+                             static_cast<double>(i), static_cast<unsigned>(t));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i < h.buckets(); ++i) bucket_total += h.bucket_count(i);
+  EXPECT_EQ(bucket_total, h.count());
+  const obs::TraceSnapshot trace = hub.trace().snapshot();
+  // i % 64 == 0 fires at i = 0 too: ceil(kIters / 64) records per thread.
+  EXPECT_EQ(trace.events.size() + trace.dropped,
+            static_cast<std::uint64_t>(kThreads) * ((kIters + 63) / 64));
+}
+
+// --- trace ring ------------------------------------------------------------
+
+TEST(Trace, ZeroCapacityThrows) {
+  EXPECT_THROW(TraceRing ring(0), std::invalid_argument);
+}
+
+TEST(Trace, RingOverwritesOldestAndCountsDrops) {
+  TraceRing ring(4);
+  const std::uint16_t stage = ring.register_stage("s");
+  for (std::uint64_t i = 0; i < 6; ++i)
+    ring.record(stage, obs::SpanKind::Instant, static_cast<double>(i), i);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 2u);
+  const obs::TraceSnapshot snap = ring.snapshot();
+  ASSERT_EQ(snap.events.size(), 4u);
+  // Oldest-first: events 0 and 1 were overwritten.
+  EXPECT_EQ(snap.events.front().value, 2u);
+  EXPECT_EQ(snap.events.back().value, 5u);
+  EXPECT_EQ(snap.capacity, 4u);
+}
+
+TEST(Trace, RegisterStageDedupes) {
+  TraceRing ring(8);
+  const std::uint16_t a = ring.register_stage("alpha");
+  const std::uint16_t b = ring.register_stage("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(ring.register_stage("alpha"), a);
+  const obs::TraceSnapshot snap = ring.snapshot();
+  ASSERT_EQ(snap.stages.size(), 2u);
+  EXPECT_EQ(snap.stages[a], "alpha");
+  EXPECT_EQ(snap.stages[b], "beta");
+}
+
+TEST(Trace, EnterExitKinds) {
+  TraceRing ring(8);
+  const std::uint16_t s = ring.register_stage("span");
+  ring.enter(s, 1.0, 7);
+  ring.exit(s, 2.0, 7);
+  const obs::TraceSnapshot snap = ring.snapshot();
+  ASSERT_EQ(snap.events.size(), 2u);
+  EXPECT_EQ(snap.events[0].kind, obs::SpanKind::Enter);
+  EXPECT_EQ(snap.events[1].kind, obs::SpanKind::Exit);
+  EXPECT_DOUBLE_EQ(snap.events[1].time_s, 2.0);
+}
+
+// --- hub clock -------------------------------------------------------------
+
+TEST(Hub, DeterministicClockAdvancesPerCall) {
+  Observability hub;
+  hub.use_deterministic_clock(0.5);
+  EXPECT_DOUBLE_EQ(hub.now(), 0.0);
+  EXPECT_DOUBLE_EQ(hub.now(), 0.5);
+  EXPECT_DOUBLE_EQ(hub.now(), 1.0);
+}
+
+TEST(Hub, EmptyClockRejected) {
+  Observability hub;
+  EXPECT_THROW(hub.set_clock(nullptr), std::invalid_argument);
+}
+
+TEST(Hub, DefaultClockIsMonotonic) {
+  Observability hub(8);
+  const double a = hub.now();
+  const double b = hub.now();
+  EXPECT_GE(b, a);
+}
+
+TEST(Hub, GlobalHubIsAStableSingleton) {
+  Observability& g = Observability::global();
+  EXPECT_EQ(&g, &Observability::global());
+  g.metrics().counter("global_smoke_total").add();
+  EXPECT_GE(g.metrics().size(), 1u);
+}
+
+// --- exporters -------------------------------------------------------------
+
+TEST(Exporters, PrometheusTextFormat) {
+  Observability hub(8);
+  hub.metrics().counter("a_total").add(3);
+  hub.metrics().gauge("g").set(1.5);
+  const double bounds[] = {1.0, 2.0};
+  obs::Histogram& h = hub.metrics().histogram("h", bounds);
+  h.observe(0.5);
+  h.observe(3.0);
+  const std::string text = obs::to_prometheus(hub.snapshot());
+  EXPECT_EQ(text,
+            "# TYPE a_total counter\n"
+            "a_total 3\n"
+            "# TYPE g gauge\n"
+            "g 1.5\n"
+            "# TYPE h histogram\n"
+            "h_bucket{le=\"1\"} 1\n"
+            "h_bucket{le=\"2\"} 1\n"
+            "h_bucket{le=\"+Inf\"} 2\n"
+            "h_sum 3.5\n"
+            "h_count 2\n"
+            "# TYPE obs_trace_events gauge\n"
+            "obs_trace_events 0\n"
+            "# TYPE obs_trace_dropped_total counter\n"
+            "obs_trace_dropped_total 0\n");
+}
+
+TEST(Exporters, PrometheusOneTypeLinePerLabelledFamily) {
+  Observability hub(8);
+  hub.metrics().counter("q_total", "reason", "a").add(1);
+  hub.metrics().counter("q_total", "reason", "b").add(2);
+  const std::string text = obs::to_prometheus(hub.snapshot());
+  EXPECT_NE(text.find("# TYPE q_total counter\n"
+                      "q_total{reason=\"a\"} 1\n"
+                      "q_total{reason=\"b\"} 2\n"),
+            std::string::npos);
+  // Exactly one TYPE line for the family.
+  EXPECT_EQ(text.find("# TYPE q_total"), text.rfind("# TYPE q_total"));
+}
+
+TEST(Exporters, PrometheusLabelledHistogramBuckets) {
+  Observability hub(8);
+  const double bounds[] = {1.0};
+  hub.metrics().histogram("stage_seconds", bounds, "stage", "fuse")
+      .observe(0.25);
+  const std::string text = obs::to_prometheus(hub.snapshot());
+  EXPECT_NE(text.find("stage_seconds_bucket{stage=\"fuse\",le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("stage_seconds_sum{stage=\"fuse\"} 0.25"),
+            std::string::npos);
+  EXPECT_NE(text.find("stage_seconds_count{stage=\"fuse\"} 1"),
+            std::string::npos);
+}
+
+TEST(Exporters, JsonFormat) {
+  Observability hub(8);
+  hub.metrics().counter("a_total").add(3);
+  const std::string json = obs::to_json(hub.snapshot());
+  EXPECT_EQ(json,
+            "{\n"
+            "  \"counters\": [\n"
+            "    {\"name\": \"a_total\", \"value\": 3}\n"
+            "  ],\n"
+            "  \"gauges\": [\n"
+            "  ],\n"
+            "  \"histograms\": [\n"
+            "  ],\n"
+            "  \"trace\": {\"capacity\": 8, \"dropped\": 0, \"events\": [\n"
+            "  ]}\n"
+            "}\n");
+}
+
+TEST(Exporters, JsonCarriesTraceEventsAndHistograms) {
+  Observability hub(8);
+  const double bounds[] = {1.0, 2.0};
+  hub.metrics().histogram("h", bounds, "stage", "x").observe(1.5);
+  const std::uint16_t s = hub.trace().register_stage("pipeline.update");
+  hub.trace().enter(s, 12.25, 9);
+  const std::string json = obs::to_json(hub.snapshot());
+  EXPECT_NE(json.find("{\"name\": \"h\", \"stage\": \"x\", "
+                      "\"bounds\": [1, 2], \"counts\": [0, 1, 0], "
+                      "\"count\": 1, \"sum\": 1.5}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"stage\": \"pipeline.update\", \"kind\": \"enter\", "
+                      "\"t\": 12.25, \"value\": 9}"),
+            std::string::npos);
+}
+
+// --- merge-law property tests ----------------------------------------------
+//
+// The registry mirrors these structs, so their merge must be a proper
+// commutative monoid or mirrored totals drift depending on merge order.
+// Latencies are generated as multiples of 1/1024 (dyadic rationals) so
+// double addition is exact and the laws can be asserted bit-for-bit.
+
+core::LatencyStats random_latency_stats(std::uint64_t seed) {
+  common::Rng rng(seed);
+  core::LatencyStats s;
+  const int n = rng.uniform_int(0, 64);
+  for (int i = 0; i < n; ++i)
+    s.record(static_cast<double>(rng.uniform_int(0, 4096)) / 1024.0);
+  return s;
+}
+
+bool equal(const core::LatencyStats& a, const core::LatencyStats& b) {
+  return a.samples == b.samples && a.total_s == b.total_s && a.max_s == b.max_s;
+}
+
+core::DurabilityCounters random_durability_counters(std::uint64_t seed) {
+  common::Rng rng(seed);
+  core::DurabilityCounters c;
+  c.journal_records_appended = rng.uniform_int(0, 1000);
+  c.journal_commits = rng.uniform_int(0, 1000);
+  c.journal_bytes_written = rng.uniform_int(0, 1 << 20);
+  c.journal_segments_created = rng.uniform_int(0, 100);
+  c.journal_segments_pruned = rng.uniform_int(0, 100);
+  c.replay_records = rng.uniform_int(0, 1000);
+  c.replay_quarantined = rng.uniform_int(0, 1000);
+  c.journal_records_corrupt = rng.uniform_int(0, 100);
+  c.journal_truncated_tails = rng.uniform_int(0, 100);
+  c.journal_segments_scanned = rng.uniform_int(0, 100);
+  c.journal_segments_rejected = rng.uniform_int(0, 100);
+  c.snapshots_written = rng.uniform_int(0, 100);
+  c.snapshot_bytes_written = rng.uniform_int(0, 1 << 20);
+  c.snapshots_pruned = rng.uniform_int(0, 100);
+  c.snapshots_loaded = rng.uniform_int(0, 100);
+  c.snapshots_rejected = rng.uniform_int(0, 100);
+  return c;
+}
+
+bool equal(const core::DurabilityCounters& a,
+           const core::DurabilityCounters& b) {
+  return a.journal_records_appended == b.journal_records_appended &&
+         a.journal_commits == b.journal_commits &&
+         a.journal_bytes_written == b.journal_bytes_written &&
+         a.journal_segments_created == b.journal_segments_created &&
+         a.journal_segments_pruned == b.journal_segments_pruned &&
+         a.replay_records == b.replay_records &&
+         a.replay_quarantined == b.replay_quarantined &&
+         a.journal_records_corrupt == b.journal_records_corrupt &&
+         a.journal_truncated_tails == b.journal_truncated_tails &&
+         a.journal_segments_scanned == b.journal_segments_scanned &&
+         a.journal_segments_rejected == b.journal_segments_rejected &&
+         a.snapshots_written == b.snapshots_written &&
+         a.snapshot_bytes_written == b.snapshot_bytes_written &&
+         a.snapshots_pruned == b.snapshots_pruned &&
+         a.snapshots_loaded == b.snapshots_loaded &&
+         a.snapshots_rejected == b.snapshots_rejected;
+}
+
+TEST(MergeLaws, LatencyStatsIdentity) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const core::LatencyStats a = random_latency_stats(seed);
+    core::LatencyStats left = a;
+    left.merge(core::LatencyStats{});  // right identity
+    EXPECT_TRUE(equal(left, a)) << "seed " << seed;
+    core::LatencyStats right;  // left identity
+    right.merge(a);
+    EXPECT_TRUE(equal(right, a)) << "seed " << seed;
+  }
+}
+
+TEST(MergeLaws, LatencyStatsCommutative) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const core::LatencyStats a = random_latency_stats(seed);
+    const core::LatencyStats b = random_latency_stats(seed + 1000);
+    core::LatencyStats ab = a;
+    ab.merge(b);
+    core::LatencyStats ba = b;
+    ba.merge(a);
+    EXPECT_TRUE(equal(ab, ba)) << "seed " << seed;
+  }
+}
+
+TEST(MergeLaws, LatencyStatsAssociative) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const core::LatencyStats a = random_latency_stats(seed);
+    const core::LatencyStats b = random_latency_stats(seed + 1000);
+    const core::LatencyStats c = random_latency_stats(seed + 2000);
+    core::LatencyStats left = a;
+    left.merge(b);
+    left.merge(c);
+    core::LatencyStats bc = b;
+    bc.merge(c);
+    core::LatencyStats right = a;
+    right.merge(bc);
+    EXPECT_TRUE(equal(left, right)) << "seed " << seed;
+  }
+}
+
+TEST(MergeLaws, DurabilityCountersIdentity) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const core::DurabilityCounters a = random_durability_counters(seed);
+    core::DurabilityCounters left = a;
+    left.merge(core::DurabilityCounters{});
+    EXPECT_TRUE(equal(left, a)) << "seed " << seed;
+    core::DurabilityCounters right;
+    right.merge(a);
+    EXPECT_TRUE(equal(right, a)) << "seed " << seed;
+  }
+}
+
+TEST(MergeLaws, DurabilityCountersCommutative) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const core::DurabilityCounters a = random_durability_counters(seed);
+    const core::DurabilityCounters b = random_durability_counters(seed + 1000);
+    core::DurabilityCounters ab = a;
+    ab.merge(b);
+    core::DurabilityCounters ba = b;
+    ba.merge(a);
+    EXPECT_TRUE(equal(ab, ba)) << "seed " << seed;
+  }
+}
+
+TEST(MergeLaws, DurabilityCountersAssociative) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const core::DurabilityCounters a = random_durability_counters(seed);
+    const core::DurabilityCounters b = random_durability_counters(seed + 1000);
+    const core::DurabilityCounters c = random_durability_counters(seed + 2000);
+    core::DurabilityCounters left = a;
+    left.merge(b);
+    left.merge(c);
+    core::DurabilityCounters bc = b;
+    bc.merge(c);
+    core::DurabilityCounters right = a;
+    right.merge(bc);
+    EXPECT_TRUE(equal(left, right)) << "seed " << seed;
+  }
+}
+
+// --- golden-snapshot determinism -------------------------------------------
+
+std::uint64_t counter_value(const obs::MetricsSnapshot& snap,
+                            const std::string& name,
+                            const std::string& label_value = {}) {
+  for (const obs::CounterSample& c : snap.counters) {
+    if (c.name == name && c.label_value == label_value) return c.value;
+  }
+  ADD_FAILURE() << "counter not found: " << name << " " << label_value;
+  return 0;
+}
+
+// Two runs of one seeded chaos scenario, each with a fresh hub and a
+// deterministic latency clock, must export byte-identical Prometheus
+// and JSON snapshots: the whole instrumentation path — counters,
+// histograms, trace events — is a pure function of the data.
+TEST(GoldenSnapshot, ChaosSoakExportsAreByteStable) {
+  const auto run = [] {
+    auto hub = std::make_unique<Observability>(1 << 14);
+    hub->use_deterministic_clock();
+    core::SoakConfig cfg;
+    cfg.n_users = 2;
+    cfg.tags_per_user = 2;
+    cfg.duration_s = 45.0;
+    cfg.chaos = core::ChaosConfig::composite(0x60D5);
+    cfg.observability = hub.get();
+    const core::SoakReport report = core::run_soak(cfg);
+    EXPECT_TRUE(report.ok());
+    const obs::ObservabilitySnapshot snap = hub->snapshot();
+    return std::make_pair(obs::to_prometheus(snap), obs::to_json(snap));
+  };
+  const auto [prom1, json1] = run();
+  const auto [prom2, json2] = run();
+  EXPECT_EQ(prom1, prom2);
+  EXPECT_EQ(json1, json2);
+}
+
+// The soak binding wires the full path: every layer's instruments must
+// show up in the export with values consistent with the soak report.
+TEST(GoldenSnapshot, SoakInstrumentsMirrorReportCounters) {
+  Observability hub(1 << 14);
+  hub.use_deterministic_clock();
+  core::SoakConfig cfg;
+  cfg.n_users = 2;
+  cfg.duration_s = 45.0;
+  cfg.chaos = core::ChaosConfig::composite(0xBEEF);
+  cfg.observability = &hub;
+  const core::SoakReport report = core::run_soak(cfg);
+  ASSERT_TRUE(report.ok());
+
+  const obs::ObservabilitySnapshot snap = hub.snapshot();
+  EXPECT_EQ(counter_value(snap.metrics, "ingest_queue_enqueued_total"),
+            report.queue.enqueued);
+  EXPECT_EQ(counter_value(snap.metrics, "ingest_queue_drained_total"),
+            report.queue.drained);
+  EXPECT_EQ(counter_value(snap.metrics, "ingest_admitted_total"),
+            report.validation.admitted);
+  std::uint64_t quarantined = 0;
+  for (std::size_t i = 0; i < core::kQuarantineReasonCount; ++i) {
+    quarantined += counter_value(
+        snap.metrics, "ingest_quarantined_total",
+        core::quarantine_reason_name(static_cast<core::QuarantineReason>(i)));
+  }
+  EXPECT_EQ(quarantined, report.validation.quarantined_total);
+  EXPECT_GT(counter_value(snap.metrics, "pipeline_updates_total"), 0u);
+  EXPECT_GT(counter_value(snap.metrics, "pipeline_events_total",
+                          "rate-update"),
+            0u);
+  EXPECT_EQ(counter_value(snap.metrics, "pipeline_events_total",
+                          "signal-lost"),
+            report.signal_lost_events);
+
+  // Stage histograms and trace spans were exercised.
+  const std::string text = obs::to_prometheus(snap);
+  EXPECT_NE(text.find("analysis_stage_seconds_bucket{stage=\"fuse\""),
+            std::string::npos);
+  EXPECT_NE(text.find("pipeline_update_seconds_count"), std::string::npos);
+  const std::string json = obs::to_json(snap);
+  EXPECT_NE(json.find("\"stage\": \"pipeline.update\""), std::string::npos);
+  EXPECT_NE(json.find("\"stage\": \"monitor.analyze\""), std::string::npos);
+}
+
+// The DurableMonitor bind adds the journal/snapshot counters on top of
+// the pipeline and front-end series: after a durable soak the exported
+// durability_* totals must equal the report's merged DurabilityCounters
+// (run_durable_soak flushes before reading them, so the mirror is exact).
+TEST(GoldenSnapshot, DurableSoakMirrorsDurabilityCounters) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("tagbreathe_obs_durable_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+
+  Observability hub(1 << 14);
+  hub.use_deterministic_clock();
+  core::SoakConfig cfg;
+  cfg.n_users = 2;
+  cfg.tags_per_user = 1;
+  cfg.duration_s = 45.0;
+  cfg.observability = &hub;
+  core::DurabilityConfig durability;
+  durability.directory = dir.string();
+  durability.snapshot_period_s = 15.0;
+  durability.snapshot.fsync = false;
+  const core::SoakReport report = core::run_durable_soak(cfg, durability);
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  ASSERT_TRUE(report.ok())
+      << (report.violations.empty() ? "" : report.violations.front());
+  ASSERT_GT(report.durability.journal_records_appended, 0u);
+  ASSERT_GE(report.durability.snapshots_written, 2u);
+
+  const obs::MetricsSnapshot snap = hub.metrics().snapshot();
+  EXPECT_EQ(counter_value(snap, "durability_journal_records_appended_total"),
+            report.durability.journal_records_appended);
+  EXPECT_EQ(counter_value(snap, "durability_journal_commits_total"),
+            report.durability.journal_commits);
+  EXPECT_EQ(counter_value(snap, "durability_journal_bytes_written_total"),
+            report.durability.journal_bytes_written);
+  EXPECT_EQ(counter_value(snap, "durability_journal_segments_created_total"),
+            report.durability.journal_segments_created);
+  EXPECT_EQ(counter_value(snap, "durability_journal_segments_pruned_total"),
+            report.durability.journal_segments_pruned);
+  EXPECT_EQ(counter_value(snap, "durability_snapshots_written_total"),
+            report.durability.snapshots_written);
+  EXPECT_EQ(counter_value(snap, "durability_snapshot_bytes_written_total"),
+            report.durability.snapshot_bytes_written);
+  EXPECT_EQ(counter_value(snap, "durability_snapshots_pruned_total"),
+            report.durability.snapshots_pruned);
+  // Fresh directory: nothing to replay, and the export says so too.
+  EXPECT_EQ(counter_value(snap, "durability_replay_records_total"), 0u);
+  EXPECT_EQ(counter_value(snap, "durability_snapshots_loaded_total"), 0u);
+}
+
+}  // namespace
+}  // namespace tagbreathe

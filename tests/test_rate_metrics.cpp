@@ -2,6 +2,9 @@
 // streaming tracker, FFT-peak baseline) and metrics (Eq. 8).
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "common/units.hpp"
 #include "core/metrics.hpp"
 #include "core/rate_estimator.hpp"
@@ -149,6 +152,46 @@ TEST(Metrics, Eq8Accuracy) {
 TEST(Metrics, ErrorBpm) {
   EXPECT_DOUBLE_EQ(rate_error_bpm(12.5, 10.0), 2.5);
   EXPECT_DOUBLE_EQ(rate_error_bpm(8.0, 10.0), 2.0);
+}
+
+// The documented edge contract of Eq. 8 (src/core/metrics.hpp):
+// true_bpm <= 0 scores exact-match only, NaN propagates, and every
+// finite result lies in [0, 1].
+TEST(Metrics, Eq8ZeroAndNegativeTruth) {
+  EXPECT_DOUBLE_EQ(breathing_rate_accuracy(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(breathing_rate_accuracy(0.0, -4.0), 1.0);
+  EXPECT_DOUBLE_EQ(breathing_rate_accuracy(5.0, -4.0), 0.0);
+  EXPECT_DOUBLE_EQ(breathing_rate_accuracy(-5.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(breathing_rate_accuracy(-5.0, -5.0), 0.0);  // not 1: != 0
+}
+
+TEST(Metrics, Eq8NegativeEstimateClampsToZero) {
+  EXPECT_DOUBLE_EQ(breathing_rate_accuracy(-10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(breathing_rate_accuracy(-0.1, 10.0), 0.0);
+}
+
+TEST(Metrics, Eq8NanPropagates) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(breathing_rate_accuracy(nan, 10.0)));
+  EXPECT_TRUE(std::isnan(breathing_rate_accuracy(10.0, nan)));
+  EXPECT_TRUE(std::isnan(breathing_rate_accuracy(nan, nan)));
+  EXPECT_TRUE(std::isnan(rate_error_bpm(nan, 10.0)));
+  EXPECT_TRUE(std::isnan(rate_error_bpm(10.0, nan)));
+}
+
+TEST(Metrics, Eq8FiniteResultsStayInUnitInterval) {
+  const double inf = std::numeric_limits<double>::infinity();
+  // A sweep of finite extremes never escapes [0, 1].
+  for (double est : {-1e12, -1.0, 0.0, 1e-9, 10.0, 1e12}) {
+    for (double truth : {1e-9, 1.0, 10.0, 1e12}) {
+      const double acc = breathing_rate_accuracy(est, truth);
+      EXPECT_GE(acc, 0.0) << est << " vs " << truth;
+      EXPECT_LE(acc, 1.0) << est << " vs " << truth;
+    }
+  }
+  // Infinite estimate against finite truth clamps rather than escaping.
+  EXPECT_DOUBLE_EQ(breathing_rate_accuracy(inf, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(breathing_rate_accuracy(-inf, 10.0), 0.0);
 }
 
 TEST(Metrics, MeanAccuracy) {

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "body/subject.hpp"
@@ -15,6 +16,7 @@
 #include "core/metrics.hpp"
 #include "core/pipeline.hpp"
 #include "llrp/session.hpp"
+#include "obs/observability.hpp"
 
 namespace tagbreathe::llrp {
 namespace {
@@ -357,6 +359,82 @@ TEST(SessionRecovery, FaultyRunTracksCleanRunOnHealthyWindows) {
 
   // The outages were noticed, not glossed over.
   EXPECT_GT(faulty.flagged, 0u);
+}
+
+std::uint64_t counter_value(const obs::MetricsSnapshot& snap,
+                            const std::string& name) {
+  for (const obs::CounterSample& c : snap.counters) {
+    if (c.name == name) return c.value;
+  }
+  ADD_FAILURE() << "counter not found: " << name;
+  return 0;
+}
+
+double gauge_value(const obs::MetricsSnapshot& snap, const std::string& name,
+                   const std::string& label_value = {}) {
+  for (const obs::GaugeSample& g : snap.gauges) {
+    if (g.name == name && g.label_value == label_value) return g.value;
+  }
+  ADD_FAILURE() << "gauge not found: " << name << " " << label_value;
+  return 0.0;
+}
+
+// An observability hub bound to the supervisor must mirror every
+// SupervisorHealth field through a faulted run: llrp_* counters equal
+// the health struct, the state gauge tracks the live enum, time-in-state
+// gauges match per state, and every state change leaves exactly one
+// Instant mark on the "llrp.session" trace stage.
+TEST(SessionRecovery, ObservabilityMirrorsSupervisorHealth) {
+  std::unique_ptr<body::Subject> subject;
+  SupervisedSessionConfig cfg;
+  cfg.faults.seed = 31;
+  cfg.faults.disconnect_period_s = 4.0;
+  cfg.faults.disconnect_duration_s = 0.75;
+  SupervisedSession session(cfg, make_sim(subject));
+
+  obs::Observability hub;
+  session.supervisor().bind_observability(hub);
+  session.advance(21.5);  // outages at t = 4, 8, 12, 16, 20
+
+  const SupervisorHealth& health = session.supervisor().health();
+  const obs::MetricsSnapshot snap = hub.metrics().snapshot();
+  EXPECT_EQ(counter_value(snap, "llrp_reconnects_total"), health.reconnects);
+  EXPECT_EQ(counter_value(snap, "llrp_reconnect_failures_total"),
+            health.reconnect_failures);
+  EXPECT_EQ(counter_value(snap, "llrp_watchdog_fires_total"),
+            health.watchdog_fires);
+  EXPECT_EQ(counter_value(snap, "llrp_handshake_failures_total"),
+            health.handshake_failures);
+  EXPECT_EQ(counter_value(snap, "llrp_handshake_retransmits_total"),
+            health.handshake_retransmits);
+  EXPECT_EQ(counter_value(snap, "llrp_rearms_total"), health.rearm_count);
+  EXPECT_EQ(counter_value(snap, "llrp_keepalives_sent_total"),
+            health.keepalives_sent);
+  EXPECT_EQ(counter_value(snap, "llrp_state_changes_total"),
+            health.state_changes);
+  // The scenario actually exercised the recovery path.
+  EXPECT_GE(health.reconnects, 5u);
+
+  EXPECT_DOUBLE_EQ(
+      gauge_value(snap, "llrp_session_state"),
+      static_cast<double>(session.supervisor().state()));
+  for (std::size_t i = 0; i < kSessionStateCount; ++i) {
+    EXPECT_DOUBLE_EQ(
+        gauge_value(snap, "llrp_time_in_state_seconds",
+                    session_state_name(static_cast<SessionState>(i))),
+        health.time_in_state_s[i])
+        << session_state_name(static_cast<SessionState>(i));
+  }
+
+  const obs::TraceSnapshot trace = hub.trace().snapshot();
+  EXPECT_EQ(trace.dropped, 0u);
+  std::size_t marks = 0;
+  for (const obs::TraceEvent& e : trace.events) {
+    if (trace.stages[e.stage] == "llrp.session" &&
+        e.kind == obs::SpanKind::Instant)
+      ++marks;
+  }
+  EXPECT_EQ(marks, health.state_changes);
 }
 
 }  // namespace
