@@ -171,6 +171,83 @@ void ChaosInjector::flush(std::vector<TagRead>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Reader-scoped chaos
+
+void ReaderChaosConfig::validate() const {
+  const auto bad = [](const std::string& what) {
+    throw std::invalid_argument("ReaderChaosConfig: " + what);
+  };
+  chaos.validate();
+  for (const ReaderOutage& o : outages) {
+    if (!(o.start_s >= 0.0) || !std::isfinite(o.start_s))
+      bad("outage start_s must be non-negative and finite");
+    if (!(o.duration_s > 0.0) || !std::isfinite(o.duration_s))
+      bad("outage duration_s must be positive and finite");
+  }
+}
+
+ReaderChaosConfig ReaderChaosConfig::blackout(std::size_t reader,
+                                              double start_s,
+                                              double duration_s,
+                                              std::uint64_t seed) {
+  ReaderChaosConfig cfg;
+  cfg.reader = reader;
+  cfg.chaos.seed = seed;
+  cfg.outages.push_back(ReaderOutage{start_s, duration_s});
+  return cfg;
+}
+
+ReaderChaosConfig ReaderChaosConfig::flap(std::size_t reader, double start_s,
+                                          double up_s, double down_s,
+                                          std::size_t cycles,
+                                          std::uint64_t seed) {
+  ReaderChaosConfig cfg;
+  cfg.reader = reader;
+  cfg.chaos.seed = seed;
+  cfg.outages.reserve(cycles);
+  for (std::size_t i = 0; i < cycles; ++i) {
+    const double down_at =
+        start_s + up_s + static_cast<double>(i) * (up_s + down_s);
+    cfg.outages.push_back(ReaderOutage{down_at, down_s});
+  }
+  return cfg;
+}
+
+ReaderChaosConfig ReaderChaosConfig::burst_overload(std::size_t reader,
+                                                    double period_s,
+                                                    std::size_t copies,
+                                                    std::uint64_t seed) {
+  ReaderChaosConfig cfg;
+  cfg.reader = reader;
+  cfg.chaos.seed = seed;
+  cfg.chaos.burst_period_s = period_s;
+  cfg.chaos.burst_copies = copies;
+  return cfg;
+}
+
+ReaderChaos::ReaderChaos(ReaderChaosConfig config)
+    : config_(std::move(config)), injector_(config_.chaos) {
+  config_.validate();
+}
+
+bool ReaderChaos::offline(double time_s) const noexcept {
+  for (const ReaderOutage& o : config_.outages) {
+    if (time_s >= o.start_s && time_s < o.start_s + o.duration_s) return true;
+  }
+  return false;
+}
+
+void ReaderChaos::feed(const TagRead& read, std::vector<TagRead>& out) {
+  if (offline(read.time_s)) {
+    ++outage_dropped_;
+    return;
+  }
+  injector_.feed(read, out);
+}
+
+void ReaderChaos::flush(std::vector<TagRead>& out) { injector_.flush(out); }
+
+// ---------------------------------------------------------------------------
 // Soak harness
 
 std::string format_soak_event(const PipelineEvent& event) {
@@ -290,6 +367,19 @@ void SoakConfig::validate() const {
   chaos.validate();
 }
 
+void append_queue_invariant_violations(const IngestQueueCounters& queue,
+                                       std::size_t capacity,
+                                       std::vector<std::string>& violations,
+                                       const std::string& context) {
+  if (queue.peak_depth > capacity)
+    add_violation(violations, context + "queue depth exceeded capacity");
+  // Conservation: every read accepted into the queue is either still
+  // queued (none, after the final pump), drained, shed or coalesced.
+  if (queue.enqueued !=
+      queue.drained + queue.shed_oldest + queue.coalesced)
+    add_violation(violations, context + "queue counter conservation broken");
+}
+
 SoakReport run_soak(const SoakConfig& config) {
   config.validate();
   SoakReport report;
@@ -351,15 +441,8 @@ SoakReport run_soak(const SoakConfig& config) {
   report.queue = frontend.queue_counters();
   report.validation = frontend.validation();
 
-  if (report.queue.peak_depth > frontend.queue().capacity())
-    add_violation(report.violations, "queue depth exceeded capacity");
-
-  // Conservation: every read accepted into the queue is either still
-  // queued (none, after the final pump), drained, shed or coalesced.
-  if (report.queue.enqueued != report.queue.drained +
-                                   report.queue.shed_oldest +
-                                   report.queue.coalesced)
-    add_violation(report.violations, "queue counter conservation broken");
+  append_queue_invariant_violations(report.queue, frontend.queue().capacity(),
+                                    report.violations);
 
   // SignalHealth vs injected gaps: a blackout longer than the loss
   // threshold must produce Lost transitions (and recoveries, since

@@ -111,6 +111,73 @@ class ChaosInjector {
   double next_burst_s_;
 };
 
+// ---------------------------------------------------------------------------
+// Reader-scoped chaos (fleet failover, ISSUE 6)
+//
+// The modes above mangle individual reads; a reader fleet additionally
+// fails at the granularity of a whole reader: one reader goes dark
+// (power loss, network partition), flaps (die/revive cycles from a bad
+// cable or overheating), or bursts (one reader flushing a stale
+// backlog while its peers stay healthy). ReaderChaos scripts those as
+// deterministic outage windows layered over a per-reader ChaosInjector,
+// so fleet failover soaks replay bit-identically from their seeds.
+
+/// One scripted delivery gap: the reader is dark in
+/// [start_s, start_s + duration_s).
+struct ReaderOutage {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+};
+
+struct ReaderChaosConfig {
+  /// Which fleet reader this scenario applies to.
+  std::size_t reader = 0;
+  /// Per-read faults (dropout, dup, skew, bursts...) for this reader.
+  ChaosConfig chaos{};
+  /// Scripted blackouts. Overlaps are allowed (union semantics).
+  std::vector<ReaderOutage> outages;
+
+  /// Throws std::invalid_argument on nonsensical values.
+  void validate() const;
+
+  /// One reader dark for [start_s, start_s + duration_s).
+  static ReaderChaosConfig blackout(std::size_t reader, double start_s,
+                                    double duration_s, std::uint64_t seed);
+  /// Die/revive cycling: `cycles` repetitions of `up_s` alive then
+  /// `down_s` dark, beginning at start_s + up_s.
+  static ReaderChaosConfig flap(std::size_t reader, double start_s,
+                                double up_s, double down_s,
+                                std::size_t cycles, std::uint64_t seed);
+  /// One reader replaying its recent backlog `copies` times every
+  /// `period_s` (burst overload) while the rest of the fleet is clean.
+  static ReaderChaosConfig burst_overload(std::size_t reader, double period_s,
+                                          std::size_t copies,
+                                          std::uint64_t seed);
+};
+
+/// Per-reader injector: scripted outages + the per-read failure modes.
+/// Reads fed while the reader is offline are dropped and counted; the
+/// fleet soak also uses offline() to drive its health probes (the
+/// supervisor-side view of the same outage).
+class ReaderChaos {
+ public:
+  explicit ReaderChaos(ReaderChaosConfig config);
+
+  bool offline(double time_s) const noexcept;
+  void feed(const TagRead& read, std::vector<TagRead>& out);
+  void flush(std::vector<TagRead>& out);
+
+  std::size_t reader() const noexcept { return config_.reader; }
+  const ChaosStats& stats() const noexcept { return injector_.stats(); }
+  /// Reads swallowed by scripted outage windows.
+  std::size_t outage_dropped() const noexcept { return outage_dropped_; }
+
+ private:
+  ReaderChaosConfig config_;
+  ChaosInjector injector_;
+  std::size_t outage_dropped_ = 0;
+};
+
 /// Multi-user end-to-end soak under chaos.
 struct SoakConfig {
   std::size_t n_users = 3;
@@ -190,6 +257,16 @@ class SoakInvariantSink {
   SoakReport& report_;
   double last_event_s_;
 };
+
+/// Queue-counter conservation gate shared by every soak harness
+/// (run_soak, run_durable_soak, run_fleet_soak): bounded depth and the
+/// law `enqueued == drained + shed_oldest + coalesced`. Violation lines
+/// are appended to `violations`; `context` prefixes them (e.g.
+/// "reader 3: ") so fleet reports attribute the broken reader.
+void append_queue_invariant_violations(const IngestQueueCounters& queue,
+                                       std::size_t capacity,
+                                       std::vector<std::string>& violations,
+                                       const std::string& context = {});
 
 /// Runs the soak and checks invariants. Deterministic: two calls with
 /// equal configs return identical reports (event logs included).

@@ -136,6 +136,42 @@ void StreamDemux::import_state(DemuxState state) {
   }
 }
 
+DemuxState StreamDemux::export_user(std::uint64_t user_id) const {
+  DemuxState state;
+  for (const auto& [key, stream] : streams_) {
+    if (key.user_id == user_id && !stream.empty())
+      state.streams.push_back(DemuxState::Stream{key, stream});
+  }
+  const auto seen = reads_seen_.find(user_id);
+  if (seen != reads_seen_.end())
+    state.reads_seen.push_back({user_id, seen->second});
+  return state;
+}
+
+std::size_t StreamDemux::import_user(const DemuxState& state) {
+  std::size_t imported = 0;
+  for (const DemuxState::Stream& s : state.streams) {
+    auto& stream = streams_[s.key];
+    stream.insert(stream.end(), s.reads.begin(), s.reads.end());
+    std::stable_sort(stream.begin(), stream.end(),
+                     [](const TagRead& a, const TagRead& b) {
+                       return a.time_s < b.time_s;
+                     });
+    if (max_reads_per_stream_ > 0 && stream.size() > max_reads_per_stream_) {
+      const std::size_t excess = stream.size() - max_reads_per_stream_;
+      stream.erase(stream.begin(),
+                   stream.begin() + static_cast<std::ptrdiff_t>(excess));
+      shed_ += excess;
+      if (obs_.accepted != nullptr) obs_.shed->add(excess);
+    }
+    imported += s.reads.size();
+    reads_seen_[s.key.user_id] += s.reads.size();
+  }
+  if (obs_.accepted != nullptr)
+    obs_.streams->set(static_cast<double>(streams_.size()));
+  return imported;
+}
+
 void StreamDemux::clear() noexcept {
   streams_.clear();
   reads_seen_.clear();

@@ -111,6 +111,18 @@ class StreamDemux {
   DemuxState export_state() const;
   void import_state(DemuxState state);
 
+  /// Handoff hooks (fleet cross-reader migration, ISSUE 6): capture or
+  /// merge the streams of ONE user without touching anybody else.
+  /// export_user emits the user's streams in key order (deterministic);
+  /// import_user merges them into the live demux — reads are
+  /// re-sorted per stream so a tail replayed on top of fresh reads
+  /// stays time-ordered — and bumps reads_seen so dirty-window
+  /// tracking sees the user as changed. Returns reads imported.
+  /// Counters (accepted/ignored/shed) are NOT transferred: the import
+  /// is a state migration, not new traffic.
+  DemuxState export_user(std::uint64_t user_id) const;
+  std::size_t import_user(const DemuxState& state);
+
   void clear() noexcept;
 
   /// Drops all reads older than `cutoff_s` (sliding-window pipelines call

@@ -171,6 +171,28 @@ void RealtimePipeline::import_state(PipelineState state) {
   demux_.import_state(std::move(state.demux));
 }
 
+void RealtimePipeline::start_at(double t0) {
+  if (started_) return;
+  started_ = true;
+  start_ = t0;
+  now_ = t0;
+  next_update_ = t0 + config_.update_period_s;
+}
+
+std::size_t RealtimePipeline::import_user(const DemuxState& state) {
+  const std::size_t imported = demux_.import_user(state);
+  if (imported == 0) return 0;
+  double newest = -1.0;
+  std::uint64_t user = 0;
+  for (const DemuxState::Stream& s : state.streams) {
+    user = s.key.user_id;
+    for (const TagRead& r : s.reads) newest = std::max(newest, r.time_s);
+  }
+  auto& us = user_state_[user];
+  us.last_read_s = std::max(us.last_read_s, newest);
+  return imported;
+}
+
 void RealtimePipeline::advance_to(double time_s) {
   if (!started_) return;
   now_ = std::max(now_, time_s);

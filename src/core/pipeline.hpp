@@ -127,6 +127,13 @@ class RealtimePipeline {
   /// when the reader goes silent).
   void advance_to(double time_s);
 
+  /// Pins the update grid to `t0` before any read arrives (no-op once
+  /// started). The fleet coordinator starts every shard pipeline on ONE
+  /// common grid so update boundaries — and therefore the merged event
+  /// log — do not depend on which shard happened to hear the first
+  /// read. Without this, the grid anchors to each shard's first push.
+  void start_at(double t0);
+
   /// Most recent analysis per user (empty before warm-up).
   const std::map<std::uint64_t, UserAnalysis>& latest() const noexcept {
     return latest_;
@@ -141,6 +148,22 @@ class RealtimePipeline {
 
   /// Users currently tracked (bounded by config.max_users when set).
   std::size_t tracked_users() const noexcept { return user_state_.size(); }
+
+  /// Whether this user currently has tracking state (health() alone
+  /// cannot distinguish "unknown" from "known but Lost").
+  bool tracks(std::uint64_t user_id) const noexcept {
+    return user_state_.contains(user_id);
+  }
+
+  /// Handoff hooks (fleet rebalancing): capture / merge the buffered
+  /// demux window of one user. import_user also marks the user read at
+  /// the newest imported timestamp so signal-loss detection restarts
+  /// from the replayed tail, not from minus infinity. Returns reads
+  /// imported.
+  DemuxState export_user(std::uint64_t user_id) const {
+    return demux_.export_user(user_id);
+  }
+  std::size_t import_user(const DemuxState& state);
 
   /// Users evicted by the max_users admission cap.
   std::size_t users_evicted() const noexcept { return users_evicted_; }

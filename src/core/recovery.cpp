@@ -476,12 +476,9 @@ SoakReport run_durable_soak(const SoakConfig& config,
   report.validation = monitor.frontend().validation();
   report.durability = monitor.counters();
 
-  if (report.queue.peak_depth > monitor.frontend().queue().capacity())
-    sink.violation("queue depth exceeded capacity");
-  if (report.queue.enqueued != report.queue.drained +
-                                   report.queue.shed_oldest +
-                                   report.queue.coalesced)
-    sink.violation("queue counter conservation broken");
+  append_queue_invariant_violations(report.queue,
+                                    monitor.frontend().queue().capacity(),
+                                    report.violations);
   // Every admitted read must have hit the journal (write-ahead). Only
   // checkable on a fresh directory: replayed reads count as admitted
   // but were journaled in a previous life.

@@ -1,0 +1,91 @@
+// Fleet-scale chaos soak (ISSUE 6 acceptance harness).
+//
+// Drives a synthetic breathing ward — n_users sinusoid breathers split
+// across n_readers — through per-reader chaos (core::ReaderChaos:
+// scripted blackouts, flaps, burst overload, per-read faults) into a
+// ReaderFleet, and gates the robustness contract:
+//
+// - per-reader queue counter conservation (shared
+//   core::append_queue_invariant_violations gate);
+// - fleet-wide admission/routing conservation
+//   (sum(drained) == admitted + quarantined;
+//    admitted == routed + handoff_suppressed);
+// - the merged event stream is monotonic in time and never names a
+//   user outside the roster;
+// - no admitted user is silently lost: every roster user still has a
+//   RateUpdate inside the final tail window, despite readers dying and
+//   reviving mid-run (delivery fails over to the next live reader,
+//   modelling overlapping antenna coverage);
+// - the rebalance backlog drains within the configured deadline
+//   (rebalance_deadline_misses == 0, no backlog at run end).
+//
+// Determinism: everything is seeded and driven by stream time; the
+// report carries an FNV-1a hash of the formatted event log so two runs
+// — across shard counts and shard thread counts — can be compared in
+// O(1) memory (record_event_log=true additionally keeps the lines).
+//
+// NOTE: the per-reader validator cap (fleet.ingest.max_users, default
+// 64) is NOT lifted here — big-census runs must set it to 0 (or >=
+// their per-reader share) or LRU eviction churn is part of the
+// scenario, deliberately.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/chaos.hpp"
+#include "fleet/fleet.hpp"
+
+namespace tagbreathe::fleet {
+
+struct FleetSoakConfig {
+  std::size_t n_readers = 16;
+  std::size_t n_users = 64;
+  std::size_t tags_per_user = 1;
+  double duration_s = 60.0;
+  /// Clean per-tag read cadence.
+  double read_rate_hz = 2.0;
+  double base_rate_bpm = 10.0;
+  double pump_period_s = 0.25;
+  /// Fleet template; n_readers is overridden from the field above and
+  /// the roster fills ingest.monitored_users when empty.
+  FleetConfig fleet{};
+  /// Per-reader fault scripts (readers without one run clean).
+  std::vector<core::ReaderChaosConfig> reader_chaos;
+  /// Roaming: the first `roaming_users` users hop to the next reader
+  /// every roam_period_s; the first roam_overlap_reads reads after a
+  /// hop are delivered to BOTH readers (antenna overlap), exercising
+  /// duplicate suppression and handoff.
+  std::size_t roaming_users = 0;
+  double roam_period_s = 10.0;
+  std::size_t roam_overlap_reads = 2;
+  /// Keep the formatted event lines (big runs: leave off, compare the
+  /// hash).
+  bool record_event_log = true;
+  /// Optional hub the fleet binds to. Must outlive the call.
+  obs::Observability* observability = nullptr;
+
+  void validate() const;
+};
+
+struct FleetSoakReport {
+  /// Formatted merged events (only when record_event_log).
+  std::vector<std::string> event_log;
+  /// FNV-1a (64-bit) over every formatted line + '\n'. Byte-identical
+  /// logs <=> equal hashes; the determinism gates compare this.
+  std::uint64_t event_log_hash = 0;
+  std::vector<std::string> violations;
+  FleetCounters counters;
+  std::size_t events = 0;
+  /// Reads swallowed by scripted reader outages (fed to an offline
+  /// reader before failover found a live one).
+  std::size_t outage_dropped = 0;
+  double last_event_time_s = 0.0;
+
+  bool ok() const noexcept { return violations.empty(); }
+};
+
+FleetSoakReport run_fleet_soak(const FleetSoakConfig& config);
+
+}  // namespace tagbreathe::fleet

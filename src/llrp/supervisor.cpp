@@ -93,6 +93,7 @@ void SessionSupervisor::drive_handshake(double now_s) {
   if (rejected(add) || rejected(enable) || rejected(start) ||
       now_s >= handshake_deadline_) {
     ++health_.handshake_failures;
+    ++consecutive_failures_;
     tear_down(now_s);
     return;
   }
@@ -110,6 +111,7 @@ void SessionSupervisor::drive_handshake(double now_s) {
   }
   if (start == StatusCode::Success) {
     ++health_.rearm_count;
+    consecutive_failures_ = 0;
     backoff_ = config_.backoff_initial_s;  // healthy again
     last_traffic_s_ = now_s;
     enter(SessionState::Streaming, now_s);
@@ -133,6 +135,17 @@ void SessionSupervisor::drive_handshake(double now_s) {
     ++health_.handshake_retransmits;
     handshake_resend_ = now_s + config_.handshake_retry_s;
   }
+}
+
+SessionProbe SessionSupervisor::probe(double now_s) const noexcept {
+  SessionProbe p;
+  p.state = state_;
+  p.streaming = streaming();
+  p.backoff_s = backoff_;
+  p.consecutive_failures = consecutive_failures_;
+  if (streaming() && now_s >= last_traffic_s_)
+    p.silence_s = now_s - last_traffic_s_;
+  return p;
 }
 
 void SessionSupervisor::publish_health() {
@@ -196,6 +209,7 @@ void SessionSupervisor::advance_to(double now_s) {
       if (now_s < next_attempt_) break;
       if (!dial()) {
         ++health_.reconnect_failures;
+        ++consecutive_failures_;
         schedule_retry(now_s);
         break;
       }
@@ -233,6 +247,7 @@ void SessionSupervisor::advance_to(double now_s) {
       const double silence = now_s - last_traffic_s_;
       if (silence >= config_.watchdog_timeout_s) {
         ++health_.watchdog_fires;
+        ++consecutive_failures_;
         tear_down(now_s);
       } else if (silence >= config_.degraded_after_s) {
         enter(SessionState::Degraded, now_s);

@@ -86,6 +86,23 @@ struct SupervisorConfig {
   std::uint64_t seed = 0x5EED;
 };
 
+/// Point-in-time liveness sample for an external health authority (the
+/// fleet coordinator, ISSUE 6): enough signal to classify a session as
+/// up, degraded or dead without reaching into the state machine.
+struct SessionProbe {
+  SessionState state = SessionState::Disconnected;
+  /// Seconds since the session last saw any traffic (reports,
+  /// keepalive echoes, events). 0 while not yet streaming.
+  double silence_s = 0.0;
+  /// Current reconnect backoff delay (grows with failures).
+  double backoff_s = 0.0;
+  /// Dial / watchdog / handshake failures since the last completed
+  /// ADD/ENABLE/START cycle. Resets to 0 on re-arm, so a supervisor
+  /// stuck in a redial loop reads as monotonically worsening.
+  std::size_t consecutive_failures = 0;
+  bool streaming = false;
+};
+
 /// Exported health counters (the observability surface of the ISSUE).
 struct SupervisorHealth {
   std::size_t reconnects = 0;          // successful transport dials
@@ -128,6 +145,10 @@ class SessionSupervisor {
   /// Current reconnect delay (diagnostic; grows with failures).
   double backoff_s() const noexcept { return backoff_; }
 
+  /// Health sample at `now_s` for an external authority (fleet
+  /// coordinator). Pure observation: does not advance the machine.
+  SessionProbe probe(double now_s) const noexcept;
+
   /// Registers llrp_* instruments on `hub`. SupervisorHealth stays the
   /// source of truth; the counters mirror it (Counter::set) at every
   /// advance_to, and state transitions emit "llrp.session" Instant trace
@@ -162,6 +183,8 @@ class SessionSupervisor {
   double next_keepalive_ = 0.0;
   double last_traffic_s_ = 0.0;
   std::size_t traffic_counter_seen_ = 0;
+  /// Failures (dial, watchdog, handshake) since the last re-arm.
+  std::size_t consecutive_failures_ = 0;
 
   // Null until bind_observability; `hub` is the is-bound sentinel.
   struct Instruments {

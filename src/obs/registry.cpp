@@ -87,11 +87,12 @@ MetricsRegistry::Entry& MetricsRegistry::find_or_create(
     throw std::invalid_argument(
         "obs: label key and value must be set together");
   if (!label_key.empty()) check_name(label_key);
-  auto key = std::make_pair(std::string(name), std::string(label_value));
+  auto key = std::make_tuple(std::string(name), std::string(label_key),
+                             std::string(label_value));
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
     Entry& entry = *it->second;
-    if (entry.kind != kind || entry.label_key != label_key)
+    if (entry.kind != kind)
       throw std::invalid_argument("obs: metric '" + std::string(name) +
                                   "' already registered as a different kind");
     return entry;

@@ -17,8 +17,13 @@
 //
 // Names must match the Prometheus charset [a-zA-Z_:][a-zA-Z0-9_:]*.
 // One optional label pair per instrument covers the fleet's needs
-// (quarantine reason, analysis stage, event kind) without dragging in a
-// full label-set model.
+// (quarantine reason, analysis stage, reader/shard index) without
+// dragging in a full label-set model. Instruments are keyed by the full
+// (name, label_key, label_value) triple, so one family may carry series
+// under different label keys (`fleet_reads_total{reader=...}` next to
+// `fleet_reads_total{shard=...}`) and multi-label scrapes stay
+// byte-stable: snapshot order is the triple's lexicographic order,
+// independent of registration order or thread interleaving.
 #pragma once
 
 #include <atomic>
@@ -29,6 +34,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <tuple>
 #include <vector>
 
 namespace tagbreathe::obs {
@@ -125,7 +131,8 @@ struct HistogramSample {
 };
 
 /// Plain-struct copy of every registered instrument, sorted by
-/// (name, label_value): deterministic input => byte-stable exports.
+/// (name, label_key, label_value): deterministic input => byte-stable
+/// exports.
 struct MetricsSnapshot {
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;
@@ -163,10 +170,12 @@ class MetricsRegistry {
                         std::string_view label_value, int kind);
 
   mutable std::mutex mutex_;
-  // Keyed by (name, label_value): map iteration gives the sorted
-  // snapshot order for free; unique_ptr keeps instrument addresses
-  // stable across rehash-free map growth.
-  std::map<std::pair<std::string, std::string>, std::unique_ptr<Entry>> entries_;
+  // Keyed by the full (name, label_key, label_value) triple: map
+  // iteration gives the sorted snapshot order for free, two label keys
+  // under one family never collide, and unique_ptr keeps instrument
+  // addresses stable across map growth.
+  using Key = std::tuple<std::string, std::string, std::string>;
+  std::map<Key, std::unique_ptr<Entry>> entries_;
 };
 
 }  // namespace tagbreathe::obs

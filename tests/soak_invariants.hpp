@@ -1,0 +1,39 @@
+// Shared soak-invariant gate for the chaos, crash-recovery and fleet
+// test suites (ISSUE 6 satellite): one place asserts that a soak came
+// back clean and that the queue's books balance, instead of three
+// hand-rolled copies drifting apart.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/ingest.hpp"
+
+namespace tagbreathe::testutil {
+
+/// Fails the current test once per violation line, so a broken soak
+/// names every violated invariant instead of just "ok() was false".
+inline void expect_no_violations(const std::vector<std::string>& violations,
+                                 const std::string& context = {}) {
+  for (const std::string& v : violations) ADD_FAILURE() << context << v;
+}
+
+/// Counter-conservation gate: every read accepted into a queue is
+/// drained, shed or coalesced — never silently lost — and the depth
+/// high-water mark respects the capacity bound. The soak harnesses run
+/// the same law internally (core::append_queue_invariant_violations);
+/// asserting it here too keeps the tests honest if a harness regresses.
+inline void expect_queue_conservation(const core::IngestQueueCounters& queue,
+                                      std::size_t capacity,
+                                      const std::string& context = {}) {
+  EXPECT_EQ(queue.enqueued,
+            queue.drained + queue.shed_oldest + queue.coalesced)
+      << context << "queue counter conservation broken";
+  EXPECT_LE(queue.peak_depth, capacity)
+      << context << "queue depth exceeded capacity";
+}
+
+}  // namespace tagbreathe::testutil

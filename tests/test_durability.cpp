@@ -20,6 +20,7 @@
 #include "core/recovery.hpp"
 #include "core/replay.hpp"
 #include "core/snapshot.hpp"
+#include "soak_invariants.hpp"
 
 namespace fs = std::filesystem;
 using namespace tagbreathe;
@@ -787,9 +788,10 @@ TEST(CrashSoak, EveryKillPointRecoversAndConverges) {
     EXPECT_TRUE(report.recovered) << crash_point_name(point);
     EXPECT_GE(report.crash_time_s, 60.0) << crash_point_name(point);
     EXPECT_GT(report.compared_events, 0u) << crash_point_name(point);
-    EXPECT_TRUE(report.ok())
-        << crash_point_name(point) << ": "
-        << (report.violations.empty() ? "" : report.violations.front());
+    testutil::expect_no_violations(report.violations,
+                                   std::string(crash_point_name(point)) +
+                                       ": ");
+    EXPECT_TRUE(report.ok()) << crash_point_name(point);
   }
 }
 
@@ -831,8 +833,9 @@ TEST(DurableSoak, CleanRunJournalsEveryAdmittedRead) {
   durability.snapshot.fsync = false;
 
   const SoakReport report = run_durable_soak(soak, durability);
-  EXPECT_TRUE(report.ok())
-      << (report.violations.empty() ? "" : report.violations.front());
+  testutil::expect_no_violations(report.violations);
+  testutil::expect_queue_conservation(report.queue,
+                                      soak.ingest.queue_capacity);
   EXPECT_GT(report.events, 0u);
   EXPECT_GT(report.durability.journal_records_appended, 0u);
   EXPECT_EQ(report.durability.journal_records_appended,

@@ -18,6 +18,7 @@
 #include "core/ingest.hpp"
 #include "core/pipeline.hpp"
 #include "llrp/session.hpp"
+#include "soak_invariants.hpp"
 
 namespace tagbreathe::core {
 namespace {
@@ -370,8 +371,10 @@ SoakConfig acceptance_soak(std::uint64_t seed) {
 }
 
 TEST(ChaosSoak, CompositeTenMinuteSoakHoldsInvariants) {
-  const SoakReport report = run_soak(acceptance_soak(0xD15EA5E));
-  for (const auto& v : report.violations) ADD_FAILURE() << v;
+  const SoakConfig cfg = acceptance_soak(0xD15EA5E);
+  const SoakReport report = run_soak(cfg);
+  testutil::expect_no_violations(report.violations);
+  testutil::expect_queue_conservation(report.queue, cfg.ingest.queue_capacity);
   EXPECT_TRUE(report.ok());
   EXPECT_GT(report.events, 100u);
   EXPECT_LE(report.peak_tracked_users, 3u);
@@ -416,7 +419,8 @@ TEST(ChaosSoak, BurstOverloadIsBoundedByTheQueue) {
   cfg.ingest.queue_capacity = 64;  // tiny queue under burst pressure
   cfg.ingest.policy = BackpressurePolicy::Coalesce;
   const SoakReport report = run_soak(cfg);
-  for (const auto& v : report.violations) ADD_FAILURE() << v;
+  testutil::expect_no_violations(report.violations);
+  testutil::expect_queue_conservation(report.queue, cfg.ingest.queue_capacity);
   EXPECT_LE(report.queue.peak_depth, 64u);
 }
 

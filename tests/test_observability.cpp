@@ -316,6 +316,28 @@ TEST(Exporters, PrometheusOneTypeLinePerLabelledFamily) {
   EXPECT_EQ(text.find("# TYPE q_total"), text.rfind("# TYPE q_total"));
 }
 
+TEST(Exporters, PrometheusMixedLabelKeysSortByteStably) {
+  // One family scattered across two label keys (the fleet publishes
+  // per-reader and per-shard series): the registry's (name, key, value)
+  // order fully determines the exposition, byte for byte.
+  Observability hub(8);
+  hub.metrics().counter("fleet_reads_total", "shard", "s01").add(5);
+  hub.metrics().counter("fleet_reads_total", "reader", "r002").add(7);
+  hub.metrics().counter("fleet_reads_total", "reader", "r000").add(1);
+  const std::string text = obs::to_prometheus(hub.snapshot());
+  EXPECT_EQ(text,
+            "# TYPE fleet_reads_total counter\n"
+            "fleet_reads_total{reader=\"r000\"} 1\n"
+            "fleet_reads_total{reader=\"r002\"} 7\n"
+            "fleet_reads_total{shard=\"s01\"} 5\n"
+            "# TYPE obs_trace_events gauge\n"
+            "obs_trace_events 0\n"
+            "# TYPE obs_trace_dropped_total counter\n"
+            "obs_trace_dropped_total 0\n");
+  // A second scrape of a fresh snapshot reproduces the bytes exactly.
+  EXPECT_EQ(text, obs::to_prometheus(hub.snapshot()));
+}
+
 TEST(Exporters, PrometheusLabelledHistogramBuckets) {
   Observability hub(8);
   const double bounds[] = {1.0};
