@@ -1,0 +1,177 @@
+// Live ward telemetry (ISSUE 7).
+//
+// An 8-reader, 32-bed ward runs with the TelemetryService tapped into
+// the fleet's merged event stream. Four nurse-station clients dial in
+// over the framed wire protocol: a ward dashboard (ward 1 filter), a
+// bedside viewer pinned to user 7, an alarm panel (AlarmOnly), and a
+// deliberately slow consumer that stops reading mid-run — the
+// slow-consumer ladder sheds it with an explicit reason and its
+// jittered backoff redials with a resume cursor, replaying the gap
+// from the server's ring. Reader 2 goes dark for 6 s mid-run to show
+// that the monitoring plane rides through fleet failover untouched.
+// The run ends with an HTTP scrape of /metrics on the SAME listener —
+// the Prometheus view a ward ops team would poll.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/chaos.hpp"
+#include "fleet/fleet_soak.hpp"
+#include "llrp/transport.hpp"
+#include "obs/observability.hpp"
+#include "telemetry/client.hpp"
+#include "telemetry/service.hpp"
+
+using namespace tagbreathe;
+using telemetry::FilterKind;
+using telemetry::FilterSpec;
+using telemetry::OverflowPolicy;
+
+namespace {
+
+constexpr std::size_t kUsersPerWard = 8;
+
+struct Station {
+  const char* name;
+  telemetry::TelemetryClientConfig cfg;
+  std::unique_ptr<telemetry::TelemetryClient> client;
+  std::vector<std::unique_ptr<llrp::DuplexChannel>> channels;
+  std::size_t events = 0;
+  /// Stops stepping inside [stall_from_s, stall_until_s): a consumer
+  /// that hangs without closing its socket.
+  double stall_from_s = -1.0;
+  double stall_until_s = -1.0;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("TagBreathe ward telemetry: 32 beds, 8 readers + 1 service\n");
+  std::printf("reader 2 dark t=[20,26) s; the lab display stalls "
+              "t=[15,35) s and is shed + resumed\n\n");
+
+  obs::Observability hub;
+
+  telemetry::TelemetryServiceConfig scfg;
+  scfg.bus.queue_capacity = 64;
+  scfg.bus.shed_after_lagging_ticks = 8;
+  // Generous heartbeat budget so the stalled display is shed by the
+  // slow-consumer ladder (backlog judgement), not the silence timer.
+  scfg.heartbeat_timeout_s = 10.0;
+  scfg.max_inflight_bytes = 2048;
+  telemetry::TelemetryService service(scfg, [](std::uint64_t user) {
+    return static_cast<std::uint32_t>((user - 1) / kUsersPerWard);
+  });
+  service.bind_observability(hub);
+
+  std::vector<Station> stations(4);
+  stations[0].name = "ward-1 dashboard";
+  stations[0].cfg.filter = {FilterKind::Ward, 1};
+  stations[1].name = "bed of user 7";
+  stations[1].cfg.filter = {FilterKind::User, 7};
+  stations[2].name = "alarm panel";
+  stations[2].cfg.filter = {FilterKind::AlarmOnly, 0};
+  stations[3].name = "lab display (stalls)";
+  stations[3].cfg.filter = {FilterKind::All, 0};
+  stations[3].cfg.policy = OverflowPolicy::DropOldest;
+  stations[3].stall_from_s = 15.0;
+  stations[3].stall_until_s = 35.0;
+  for (std::size_t i = 0; i < stations.size(); ++i) {
+    Station& st = stations[i];
+    st.cfg.seed = 100 + i;
+    st.client = std::make_unique<telemetry::TelemetryClient>(
+        st.cfg,
+        [&st, &service](double now_s) -> llrp::ByteChannel* {
+          st.channels.push_back(std::make_unique<llrp::DuplexChannel>());
+          service.accept(*st.channels.back(), now_s);
+          return st.channels.back().get();
+        },
+        [&st](const telemetry::TelemetryEvent&) { ++st.events; });
+  }
+
+  fleet::FleetSoakConfig cfg;
+  cfg.n_readers = 8;
+  cfg.n_users = 32;
+  cfg.duration_s = 60.0;
+  cfg.read_rate_hz = 2.0;
+  cfg.fleet.n_shards = 2;
+  cfg.fleet.ingest.max_users = 0;
+  cfg.fleet.pipeline.window_s = 20.0;
+  cfg.fleet.pipeline.update_period_s = 2.0;
+  cfg.fleet.pipeline.warmup_s = 8.0;
+  cfg.record_event_log = false;
+  cfg.observability = &hub;
+  cfg.reader_chaos.push_back(
+      core::ReaderChaosConfig::blackout(2, 20.0, 6.0, 77));
+  cfg.event_tap = [&service](const fleet::FleetEvent& fe) {
+    service.bus().publish(static_cast<std::uint16_t>(fe.shard), fe.event);
+  };
+  cfg.pump_tap = [&](double now_s) {
+    for (Station& st : stations) {
+      if (now_s >= st.stall_from_s && now_s < st.stall_until_s) continue;
+      st.client->step(now_s);
+    }
+    service.pump(now_s);
+  };
+
+  const fleet::FleetSoakReport report = fleet::run_fleet_soak(cfg);
+
+  // Let the stations drain what is still queued server-side.
+  for (int i = 0; i < 32; ++i) {
+    const double t = cfg.duration_s + 0.25 * (i + 1);
+    for (Station& st : stations) st.client->step(t);
+    service.pump(t);
+  }
+
+  std::printf("--- fleet run: %s ---\n", report.ok() ? "OK" : "VIOLATIONS");
+  std::printf("fleet events %zu  published to bus %llu\n\n", report.events,
+              static_cast<unsigned long long>(
+                  service.bus().counters().events_published));
+  std::printf("%-22s %9s %6s %6s %6s %8s %9s\n", "station", "delivered",
+              "dials", "sheds", "gaps", "replayed", "ordering");
+  for (const Station& st : stations) {
+    const telemetry::ClientCounters& c = st.client->counters();
+    std::printf("%-22s %9llu %6llu %6llu %6llu %8llu %9llu\n", st.name,
+                static_cast<unsigned long long>(c.delivered),
+                static_cast<unsigned long long>(c.dials),
+                static_cast<unsigned long long>(c.sheds_received),
+                static_cast<unsigned long long>(c.gap_dropped),
+                static_cast<unsigned long long>(c.replayed),
+                static_cast<unsigned long long>(c.ordering_violations));
+  }
+
+  // The same listener answers HTTP: scrape a few series the ops
+  // dashboard graphs.
+  llrp::DuplexChannel scrape;
+  service.accept(scrape, cfg.duration_s + 9.0);
+  const std::string request = "GET /metrics HTTP/1.1\r\n\r\n";
+  scrape.write(llrp::Side::Client,
+               std::span<const std::uint8_t>(
+                   reinterpret_cast<const std::uint8_t*>(request.data()),
+                   request.size()));
+  service.pump(cfg.duration_s + 9.0);
+  const std::vector<std::uint8_t> raw = scrape.read(llrp::Side::Client);
+  const std::string response(raw.begin(), raw.end());
+  std::printf("\n--- GET /metrics (same port as the stream) ---\n");
+  for (const char* needle :
+       {"telemetry_events_published_total",
+        "telemetry_sheds_total{reason=\"SlowConsumer\"}",
+        "telemetry_replayed_events_total", "fleet_readers_dead"}) {
+    // Skip past the "# TYPE <name> ..." comment to the sample line.
+    std::size_t at = response.find(needle);
+    if (at != std::string::npos && at > 0 && response[at - 1] != '\n')
+      at = response.find(needle, at + 1);
+    if (at == std::string::npos) continue;
+    const std::size_t end = response.find('\n', at);
+    std::printf("%s\n", response.substr(at, end - at).c_str());
+  }
+  service.shutdown();
+
+  const bool shed_and_resumed =
+      stations[3].client->counters().sheds_received > 0 &&
+      stations[3].client->counters().dials > 1;
+  std::printf("\nlab display shed + resumed with cursor: %s\n",
+              shed_and_resumed ? "yes" : "no");
+  return report.ok() && shed_and_resumed ? 0 : 1;
+}

@@ -445,10 +445,18 @@ void ReaderFleet::process_rebalances(double now_s) {
 }
 
 void ReaderFleet::execute_shards(double now_s) {
-  const auto run = [now_s](Shard& shard) {
+  // Latency observation rides the hub's injectable clock; hub->now() is
+  // thread-safe, so the striped path observes from worker threads too
+  // (the deterministic-clock byte-stability gate runs shards serially,
+  // where the call sequence is data-dependent only).
+  const auto run = [this, now_s](Shard& shard) {
+    const std::size_t index = static_cast<std::size_t>(&shard - &shards_[0]);
+    const double t0 = obs_.hub != nullptr ? obs_.hub->now() : 0.0;
     for (const core::TagRead& read : shard.batch) shard.pipeline->push(read);
     shard.batch.clear();
     shard.pipeline->advance_to(now_s);
+    if (obs_.hub != nullptr)
+      obs_.shard_update_seconds[index]->observe(obs_.hub->now() - t0);
   };
   if (config_.shard_threads == 0 || shards_.size() <= 1) {
     for (Shard& shard : shards_) run(shard);
@@ -517,11 +525,15 @@ void ReaderFleet::bind_observability(obs::Observability& hub) {
   }
   obs_.shard_users.resize(shards_.size());
   obs_.shard_routed.resize(shards_.size());
+  obs_.shard_update_seconds.resize(shards_.size());
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     const std::string label = index_label('s', 2, s);
     obs_.shard_users[s] = &m.gauge("fleet_shard_users", "shard", label);
     obs_.shard_routed[s] =
         &m.counter("fleet_shard_routed_total", "shard", label);
+    obs_.shard_update_seconds[s] =
+        &m.histogram("fleet_shard_update_latency_seconds",
+                     obs::default_latency_bounds(), "shard", label);
   }
   obs_.admitted = &m.counter("fleet_admitted_total");
   obs_.quarantined = &m.counter("fleet_quarantined_total");

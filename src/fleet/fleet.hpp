@@ -265,6 +265,11 @@ class ReaderFleet {
     std::vector<obs::Counter*> reader_reads;  // fleet_reads_total{reader=}
     std::vector<obs::Gauge*> shard_users;     // fleet_shard_users{shard=}
     std::vector<obs::Counter*> shard_routed;  // fleet_routed_total{shard=}
+    /// fleet_shard_update_latency_seconds{shard=}: per-pump execution
+    /// latency of each shard (push batch + advance), on the hub's
+    /// injectable latency clock — the flat-per-shard-latency evidence
+    /// the ROADMAP's scale-out target asks for.
+    std::vector<obs::Histogram*> shard_update_seconds;
     obs::Counter* admitted = nullptr;
     obs::Counter* quarantined = nullptr;
     obs::Counter* handoffs = nullptr;

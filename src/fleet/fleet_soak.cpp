@@ -96,6 +96,7 @@ FleetSoakReport run_fleet_soak(const FleetSoakConfig& config) {
     const std::string line = core::format_soak_event(event);
     report.event_log_hash = fnv1a_line(report.event_log_hash, line);
     if (config.record_event_log) report.event_log.push_back(line);
+    if (config.event_tap) config.event_tap(fe);
   });
   if (config.observability != nullptr)
     fleet.bind_observability(*config.observability);
@@ -156,6 +157,7 @@ FleetSoakReport run_fleet_soak(const FleetSoakConfig& config) {
     for (std::size_t r = 0; r < config.n_readers; ++r)
       fleet.probe_reader(r, !offline(r, t), t);
     fleet.pump(t);
+    if (config.pump_tap) config.pump_tap(t);
   };
 
   double next_pump = config.pump_period_s;

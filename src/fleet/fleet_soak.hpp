@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,13 @@ struct FleetSoakConfig {
   bool record_event_log = true;
   /// Optional hub the fleet binds to. Must outlive the call.
   obs::Observability* observability = nullptr;
+  /// Downstream taps (the telemetry service hangs off these). event_tap
+  /// fires for every merged event, after the soak's own accounting;
+  /// pump_tap fires after every fleet pump with the pump's stream time.
+  /// Both must be non-blocking — a stalling tap stalls the soak, which
+  /// is exactly what the telemetry layer exists to prevent.
+  std::function<void(const FleetEvent&)> event_tap;
+  std::function<void(double now_s)> pump_tap;
 
   void validate() const;
 };

@@ -36,6 +36,22 @@ void append_json_string(std::string& out, const std::string& s) {
   out += '"';
 }
 
+// Label-value escaping per the Prometheus text exposition format:
+// backslash, double quote and line feed must appear as \\, \" and \n
+// inside a quoted label value. Label *names* are charset-validated at
+// registration; values are free-form (a hostname or ward name can
+// legally carry any of the three).
+void append_prom_label_value(std::string& out, const std::string& value) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
 // `name{key="value"}` (or bare name), with an optional extra `le` pair
 // for histogram buckets.
 void append_prom_series(std::string& out, const std::string& name,
@@ -49,7 +65,7 @@ void append_prom_series(std::string& out, const std::string& name,
     if (labelled) {
       out += label_key;
       out += "=\"";
-      out += label_value;
+      append_prom_label_value(out, label_value);
       out += '"';
       if (le != nullptr) out += ',';
     }

@@ -1,0 +1,143 @@
+#include "telemetry/client.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace tagbreathe::telemetry {
+
+void TelemetryClientConfig::validate() const {
+  const auto bad = [](const std::string& what) {
+    throw std::invalid_argument("TelemetryClientConfig: " + what);
+  };
+  if (!(heartbeat_period_s > 0.0)) bad("heartbeat_period_s must be positive");
+  if (!(backoff_initial_s > 0.0)) bad("backoff_initial_s must be positive");
+  if (backoff_max_s < backoff_initial_s)
+    bad("backoff_max_s below backoff_initial_s");
+  if (backoff_jitter < 0.0 || backoff_jitter >= 1.0)
+    bad("backoff_jitter must be in [0, 1)");
+  if (!(ack_timeout_s > 0.0)) bad("ack_timeout_s must be positive");
+}
+
+const char* client_state_name(ClientState state) noexcept {
+  switch (state) {
+    case ClientState::Idle: return "Idle";
+    case ClientState::AwaitingAck: return "AwaitingAck";
+    case ClientState::Streaming: return "Streaming";
+    case ClientState::Stopped: return "Stopped";
+  }
+  return "Unknown";
+}
+
+TelemetryClient::TelemetryClient(TelemetryClientConfig config, DialFn dial,
+                                 EventFn on_event)
+    : config_(config),
+      dial_(std::move(dial)),
+      on_event_(std::move(on_event)),
+      rng_(config.seed),
+      backoff_s_(config.backoff_initial_s) {
+  config_.validate();
+  if (!dial_) throw std::invalid_argument("TelemetryClient: null dial fn");
+}
+
+void TelemetryClient::disconnect(double now_s) {
+  channel_ = nullptr;
+  parser_.reset();
+  subscription_id_ = 0;
+  state_ = ClientState::Idle;
+  // Jittered exponential backoff: scale by a uniform factor in
+  // [1-j, 1+j] so simultaneous sheds do not redial in lockstep.
+  const double jitter =
+      1.0 + config_.backoff_jitter * (2.0 * rng_.uniform() - 1.0);
+  next_dial_s_ = now_s + backoff_s_ * jitter;
+  backoff_s_ = std::min(backoff_s_ * 2.0, config_.backoff_max_s);
+}
+
+void TelemetryClient::dial(double now_s) {
+  ++counters_.dials;
+  llrp::ByteChannel* channel = dial_(now_s);
+  if (channel == nullptr) {
+    disconnect(now_s);
+    return;
+  }
+  channel_ = channel;
+  parser_ = std::make_unique<FrameParser>();
+  dialed_at_s_ = now_s;
+  state_ = ClientState::AwaitingAck;
+  SubscribeFrame sub;
+  sub.filter = config_.filter;
+  sub.policy = config_.policy;
+  sub.resume_cursor = cursor_;
+  channel_->write(llrp::Side::Client, encode_frame(sub));
+}
+
+void TelemetryClient::pump_read(double now_s) {
+  parser_->feed(channel_->read(llrp::Side::Client));
+  try {
+    while (auto frame = parser_->next()) {
+      if (const auto* ack = std::get_if<SubAckFrame>(&*frame)) {
+        subscription_id_ = ack->subscription_id;
+        counters_.replayed += ack->replayed;
+        counters_.resume_gap += ack->gap;
+        ++counters_.acks;
+        state_ = ClientState::Streaming;
+        next_heartbeat_s_ = now_s + config_.heartbeat_period_s;
+        backoff_s_ = config_.backoff_initial_s;  // healthy again
+      } else if (const auto* ev = std::get_if<EventFrame>(&*frame)) {
+        if (ev->event.seq <= cursor_) ++counters_.ordering_violations;
+        cursor_ = std::max(cursor_, ev->event.seq);
+        ++counters_.delivered;
+        if (on_event_) on_event_(ev->event);
+      } else if (const auto* gap = std::get_if<GapFrame>(&*frame)) {
+        ++counters_.gap_frames;
+        counters_.gap_dropped += gap->dropped;
+      } else if (std::holds_alternative<ShedFrame>(*frame)) {
+        ++counters_.sheds_received;
+        disconnect(now_s);
+        return;
+      }
+      // Subscribe/Heartbeat arriving server->client would be a protocol
+      // violation; treat like line noise.
+      else {
+        ++counters_.decode_errors;
+        disconnect(now_s);
+        return;
+      }
+    }
+  } catch (const llrp::DecodeError&) {
+    ++counters_.decode_errors;
+    disconnect(now_s);
+  }
+}
+
+void TelemetryClient::step(double now_s) {
+  switch (state_) {
+    case ClientState::Stopped:
+      return;
+    case ClientState::Idle:
+      if (now_s >= next_dial_s_) dial(now_s);
+      return;
+    case ClientState::AwaitingAck:
+      pump_read(now_s);
+      if (state_ == ClientState::AwaitingAck &&
+          now_s - dialed_at_s_ > config_.ack_timeout_s)
+        disconnect(now_s);
+      return;
+    case ClientState::Streaming:
+      pump_read(now_s);
+      if (state_ == ClientState::Streaming && now_s >= next_heartbeat_s_) {
+        channel_->write(llrp::Side::Client,
+                        encode_frame(HeartbeatFrame{now_s}));
+        next_heartbeat_s_ = now_s + config_.heartbeat_period_s;
+      }
+      return;
+  }
+}
+
+void TelemetryClient::stop() noexcept {
+  state_ = ClientState::Stopped;
+  channel_ = nullptr;
+  parser_.reset();
+}
+
+}  // namespace tagbreathe::telemetry

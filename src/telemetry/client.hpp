@@ -1,0 +1,118 @@
+// TelemetryClient: the nurse-station side of the telemetry protocol
+// (ISSUE 7 tentpole, subscriber half).
+//
+// A resilient state machine driven in stream time: dial, Subscribe
+// (carrying the resume cursor — the last sequence this client actually
+// delivered), await SubAck, then stream: heartbeat on a period, decode
+// Event/Gap/Shed frames, and on any failure (dial refused, malformed
+// bytes, server shed, silent link) disconnect and redial with
+// exponential backoff, jittered from the client's own seeded Rng so a
+// thousand clients shed at once do not redial in lockstep (the
+// thundering-herd guard the soak asserts on).
+//
+// The client never trusts the link: a DecodeError tears the connection
+// down instead of wedging, sequence regressions are counted as
+// ordering violations (the soak gates on zero), and every Gap frame's
+// dropped count is accumulated so `delivered + gap_dropped` can be
+// reconciled against the server's per-subscription accounting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "llrp/transport.hpp"
+#include "telemetry/wire.hpp"
+
+namespace tagbreathe::telemetry {
+
+struct TelemetryClientConfig {
+  FilterSpec filter{};
+  OverflowPolicy policy = OverflowPolicy::DropOldest;
+  /// Heartbeat cadence while streaming.
+  double heartbeat_period_s = 1.0;
+  /// Initial redial delay; doubles per consecutive failure.
+  double backoff_initial_s = 0.5;
+  double backoff_max_s = 8.0;
+  /// Each delay is scaled by a uniform factor in [1-j, 1+j].
+  double backoff_jitter = 0.2;
+  /// Give up on an un-acked dial after this long and redial.
+  double ack_timeout_s = 2.0;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+enum class ClientState : std::uint8_t {
+  Idle = 0,        // waiting out the backoff
+  AwaitingAck = 1,
+  Streaming = 2,
+  Stopped = 3,     // stop() called; never dials again
+};
+const char* client_state_name(ClientState state) noexcept;
+
+struct ClientCounters {
+  std::uint64_t dials = 0;
+  std::uint64_t acks = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t replayed = 0;       // per SubAck accounting
+  std::uint64_t resume_gap = 0;     // sequences lost beyond the ring
+  std::uint64_t gap_frames = 0;
+  std::uint64_t gap_dropped = 0;    // sum of Gap frame drop counts
+  std::uint64_t sheds_received = 0;
+  std::uint64_t decode_errors = 0;
+  std::uint64_t ordering_violations = 0;  // non-increasing sequence
+};
+
+class TelemetryClient {
+ public:
+  /// Dial callback: returns a connected channel (the client speaks
+  /// llrp::Side::Client on it) or nullptr when the dial fails. The
+  /// channel must stay valid until the next dial or stop().
+  using DialFn = std::function<llrp::ByteChannel*(double now_s)>;
+  /// Invoked for every delivered event, in order.
+  using EventFn = std::function<void(const TelemetryEvent&)>;
+
+  TelemetryClient(TelemetryClientConfig config, DialFn dial,
+                  EventFn on_event = nullptr);
+
+  /// One bounded step at stream time `now_s`: dial when due, pump the
+  /// read side, heartbeat when due. Call at pump cadence.
+  void step(double now_s);
+
+  /// Stops dialing (existing connection is abandoned, not torn down —
+  /// the server's heartbeat timeout reaps it, as with a crashed
+  /// client).
+  void stop() noexcept;
+
+  ClientState state() const noexcept { return state_; }
+  const ClientCounters& counters() const noexcept { return counters_; }
+  /// Last sequence delivered — the resume cursor for the next dial.
+  std::uint64_t cursor() const noexcept { return cursor_; }
+  std::uint64_t subscription_id() const noexcept { return subscription_id_; }
+  double next_dial_s() const noexcept { return next_dial_s_; }
+
+ private:
+  void disconnect(double now_s);
+  void dial(double now_s);
+  void pump_read(double now_s);
+
+  TelemetryClientConfig config_;
+  DialFn dial_;
+  EventFn on_event_;
+  common::Rng rng_;
+
+  ClientState state_ = ClientState::Idle;
+  llrp::ByteChannel* channel_ = nullptr;
+  std::unique_ptr<FrameParser> parser_;
+  std::uint64_t subscription_id_ = 0;
+  std::uint64_t cursor_ = 0;
+  double next_dial_s_ = 0.0;
+  double dialed_at_s_ = 0.0;
+  double next_heartbeat_s_ = 0.0;
+  double backoff_s_ = 0.0;
+  ClientCounters counters_;
+};
+
+}  // namespace tagbreathe::telemetry

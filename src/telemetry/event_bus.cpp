@@ -1,0 +1,385 @@
+#include "telemetry/event_bus.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <string>
+
+#include "obs/observability.hpp"
+
+namespace tagbreathe::telemetry {
+
+const char* subscriber_state_name(SubscriberState state) noexcept {
+  switch (state) {
+    case SubscriberState::Up: return "Up";
+    case SubscriberState::Lagging: return "Lagging";
+    case SubscriberState::Shed: return "Shed";
+  }
+  return "Unknown";
+}
+
+void EventBusConfig::validate() const {
+  const auto bad = [](const std::string& what) {
+    throw std::invalid_argument("EventBusConfig: " + what);
+  };
+  if (queue_capacity == 0) bad("queue_capacity must be positive");
+  if (lagging_above > queue_capacity)
+    bad("lagging_above exceeds queue_capacity");
+  if (effective_lagging_above() == 0)
+    bad("lagging threshold degenerates to 0 (queue_capacity too small; "
+        "set lagging_above explicitly)");
+  if (effective_up_below() >= effective_lagging_above())
+    bad("up_below must sit strictly below lagging_above (hysteresis)");
+}
+
+struct EventBus::Subscription {
+  FilterSpec filter{};
+  OverflowPolicy policy = OverflowPolicy::DropOldest;
+  SubscriberState state = SubscriberState::Up;
+  /// False once shed or gracefully closed; counters are frozen then.
+  bool live = true;
+  ShedReason shed_reason = ShedReason::SlowConsumer;
+  std::size_t lagging_ticks = 0;
+  SubscriptionCounters counters;
+  std::deque<TelemetryEvent> queue;
+  /// Events shed from this queue since the last drain — surfaced to the
+  /// consumer as a Gap frame ahead of the next delivery.
+  std::uint64_t pending_gap_dropped = 0;
+};
+
+EventBus::EventBus(EventBusConfig config, WardFn ward_of)
+    : config_(config), ward_of_(std::move(ward_of)) {
+  config_.validate();
+  ring_.resize(config_.replay_ring_capacity);
+}
+
+EventBus::~EventBus() = default;
+
+bool EventBus::filter_matches(const FilterSpec& filter,
+                              const TelemetryEvent& event) const {
+  switch (filter.kind) {
+    case FilterKind::All:
+      return true;
+    case FilterKind::User:
+      return event.user_id == filter.id;
+    case FilterKind::Ward:
+      return (ward_of_ ? ward_of_(event.user_id) : 0u) == filter.id;
+    case FilterKind::AlarmOnly:
+      return event.kind != core::PipelineEventKind::RateUpdate;
+  }
+  return false;
+}
+
+void EventBus::offer_locked(Subscription& sub, const TelemetryEvent& event,
+                            bool replay) {
+  ++sub.counters.published;
+  if (replay) {
+    ++sub.counters.replayed;
+    ++counters_.replayed_events;
+  }
+  if (sub.queue.size() < config_.queue_capacity) {
+    sub.queue.push_back(event);
+    ++counters_.fanout_enqueued;
+    return;
+  }
+  switch (sub.policy) {
+    case OverflowPolicy::CoalescePerUser:
+      // One fresh rate per user survives overload; alarms never
+      // coalesce. The absorbed event is erased (not overwritten in
+      // place) so delivered sequence numbers stay monotonic.
+      if (event.kind == core::PipelineEventKind::RateUpdate) {
+        for (auto it = sub.queue.rbegin(); it != sub.queue.rend(); ++it) {
+          if (it->kind == core::PipelineEventKind::RateUpdate &&
+              it->user_id == event.user_id) {
+            sub.queue.erase(std::next(it).base());
+            sub.queue.push_back(event);
+            ++sub.counters.coalesced;
+            ++counters_.fanout_coalesced;
+            ++counters_.fanout_enqueued;
+            return;
+          }
+        }
+      }
+      [[fallthrough]];  // nothing coalescible queued: newest data wins
+    case OverflowPolicy::DropOldest:
+      ++sub.counters.dropped;
+      ++counters_.fanout_dropped;
+      ++sub.pending_gap_dropped;
+      sub.queue.pop_front();
+      sub.queue.push_back(event);
+      ++counters_.fanout_enqueued;
+      return;
+    case OverflowPolicy::Disconnect:
+      // The incoming event is part of the shed spill.
+      ++sub.counters.dropped;
+      ++counters_.fanout_dropped;
+      shed_locked(sub, ShedReason::Overflow);
+      return;
+  }
+}
+
+void EventBus::shed_locked(Subscription& sub, ShedReason reason) {
+  if (!sub.live) return;
+  sub.counters.dropped += sub.queue.size();
+  counters_.fanout_dropped += sub.queue.size();
+  sub.queue.clear();
+  sub.queue.shrink_to_fit();
+  sub.live = false;
+  sub.state = SubscriberState::Shed;
+  sub.shed_reason = reason;
+  ++counters_.sheds[static_cast<std::size_t>(reason)];
+}
+
+std::uint64_t EventBus::subscribe(const FilterSpec& filter,
+                                  OverflowPolicy policy,
+                                  std::uint64_t resume_cursor,
+                                  ResumeResult* resume) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = next_subscription_id_++;
+  auto sub = std::make_unique<Subscription>();
+  sub->filter = filter;
+  sub->policy = policy;
+  ++counters_.subscribes;
+
+  ResumeResult rr;
+  rr.next_seq = last_seq_ + 1;
+  if (resume_cursor > 0) {
+    ++counters_.resumes;
+    // A cursor ahead of the stream is a protocol anomaly; clamp it so
+    // the arithmetic below stays in-range.
+    const std::uint64_t cursor = std::min(resume_cursor, last_seq_);
+    const std::size_t cap = config_.replay_ring_capacity;
+    if (cap == 0) {
+      rr.gap = last_seq_ - cursor;
+    } else {
+      const std::uint64_t oldest =
+          last_seq_ > cap ? last_seq_ - cap + 1 : 1;
+      const std::uint64_t replay_from = std::max(cursor + 1, oldest);
+      rr.gap = replay_from - (cursor + 1);
+      for (std::uint64_t seq = replay_from; seq <= last_seq_; ++seq) {
+        // A Disconnect-policy subscription can be shed by its own
+        // replay overflowing; a dead subscription takes no more offers.
+        if (!sub->live) break;
+        const TelemetryEvent& event = ring_[(seq - 1) % cap];
+        if (filter_matches(filter, event)) offer_locked(*sub, event, true);
+      }
+    }
+    counters_.gap_sequences += rr.gap;
+  }
+  rr.replayed = sub->counters.replayed;
+  if (resume != nullptr) *resume = rr;
+  subscriptions_.emplace(id, std::move(sub));
+  return id;
+}
+
+void EventBus::unsubscribe(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end() || !it->second->live) return;
+  Subscription& sub = *it->second;
+  sub.counters.dropped += sub.queue.size();
+  counters_.fanout_dropped += sub.queue.size();
+  sub.queue.clear();
+  sub.queue.shrink_to_fit();
+  sub.live = false;
+  ++counters_.unsubscribes;
+}
+
+void EventBus::shed(std::uint64_t id, ShedReason reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = subscriptions_.find(id);
+  if (it != subscriptions_.end()) shed_locked(*it->second, reason);
+}
+
+void EventBus::publish(std::uint16_t shard, const core::PipelineEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.events_published;
+  const std::uint64_t seq = ++last_seq_;
+  const TelemetryEvent te = make_event(seq, shard, event);
+  if (!ring_.empty()) ring_[(seq - 1) % ring_.size()] = te;
+  for (auto& [id, sub] : subscriptions_) {
+    (void)id;
+    if (!sub->live) continue;
+    if (filter_matches(sub->filter, te)) {
+      offer_locked(*sub, te, false);
+    } else {
+      ++counters_.filtered_out;
+    }
+  }
+}
+
+void EventBus::tick() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t lagging_above = config_.effective_lagging_above();
+  const std::size_t up_below = config_.effective_up_below();
+  for (auto& [id, sub] : subscriptions_) {
+    (void)id;
+    if (!sub->live) continue;
+    const std::size_t backlog = sub->queue.size();
+    if (sub->state == SubscriberState::Up) {
+      if (backlog >= lagging_above) {
+        sub->state = SubscriberState::Lagging;
+        sub->lagging_ticks = 1;
+      }
+    } else if (sub->state == SubscriberState::Lagging) {
+      if (backlog <= up_below) {
+        sub->state = SubscriberState::Up;
+        sub->lagging_ticks = 0;
+      } else {
+        ++sub->lagging_ticks;
+      }
+    }
+    if (sub->state == SubscriberState::Lagging &&
+        config_.shed_after_lagging_ticks > 0 &&
+        sub->lagging_ticks >= config_.shed_after_lagging_ticks) {
+      shed_locked(*sub, ShedReason::SlowConsumer);
+    }
+  }
+  publish_metrics_locked();
+}
+
+EventBus::DrainResult EventBus::drain(std::uint64_t id,
+                                      std::vector<TelemetryEvent>& out,
+                                      std::size_t max_events) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DrainResult result;
+  const auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end()) {
+    result.shed = true;
+    return result;
+  }
+  Subscription& sub = *it->second;
+  if (!sub.live) {
+    result.shed = true;
+    result.shed_reason = sub.shed_reason;
+    return result;
+  }
+  if (sub.pending_gap_dropped > 0) {
+    result.gap_dropped = sub.pending_gap_dropped;
+    result.gap_next_seq =
+        sub.queue.empty() ? last_seq_ + 1 : sub.queue.front().seq;
+    sub.pending_gap_dropped = 0;
+  }
+  while (result.delivered < max_events && !sub.queue.empty()) {
+    out.push_back(sub.queue.front());
+    sub.queue.pop_front();
+    ++sub.counters.delivered;
+    ++result.delivered;
+  }
+  return result;
+}
+
+SubscriberState EventBus::state(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = subscriptions_.find(id);
+  return it == subscriptions_.end() ? SubscriberState::Shed
+                                    : it->second->state;
+}
+
+SubscriptionCounters EventBus::subscription_counters(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = subscriptions_.find(id);
+  return it == subscriptions_.end() ? SubscriptionCounters{}
+                                    : it->second->counters;
+}
+
+std::size_t EventBus::queued(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = subscriptions_.find(id);
+  return it == subscriptions_.end() ? 0 : it->second->queue.size();
+}
+
+void EventBus::for_each_subscription(
+    const std::function<void(std::uint64_t, const FilterSpec&,
+                             SubscriberState, const SubscriptionCounters&,
+                             std::size_t)>& fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [id, sub] : subscriptions_)
+    fn(id, sub->filter, sub->state, sub->counters, sub->queue.size());
+}
+
+BusCounters EventBus::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+std::uint64_t EventBus::last_seq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_seq_;
+}
+
+std::size_t EventBus::subscriptions_in(SubscriberState state) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [id, sub] : subscriptions_) {
+    (void)id;
+    if (state == SubscriberState::Shed
+            ? sub->state == SubscriberState::Shed
+            : (sub->live && sub->state == state))
+      ++n;
+  }
+  return n;
+}
+
+std::size_t EventBus::live_subscriptions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [id, sub] : subscriptions_) {
+    (void)id;
+    if (sub->live) ++n;
+  }
+  return n;
+}
+
+void EventBus::bind_observability(obs::Observability& hub) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  obs::MetricsRegistry& m = hub.metrics();
+  obs_.hub = &hub;
+  obs_.published = &m.counter("telemetry_events_published_total");
+  obs_.enqueued = &m.counter("telemetry_fanout_enqueued_total");
+  obs_.dropped = &m.counter("telemetry_fanout_dropped_total");
+  obs_.coalesced = &m.counter("telemetry_fanout_coalesced_total");
+  obs_.filtered = &m.counter("telemetry_fanout_filtered_total");
+  obs_.subscribes = &m.counter("telemetry_subscribes_total");
+  obs_.resumes = &m.counter("telemetry_resumes_total");
+  obs_.replayed = &m.counter("telemetry_replayed_events_total");
+  obs_.gap_sequences = &m.counter("telemetry_resume_gap_sequences_total");
+  for (std::size_t r = 0; r < kShedReasonCount; ++r)
+    obs_.sheds[r] = &m.counter(
+        "telemetry_sheds_total", "reason",
+        shed_reason_name(static_cast<ShedReason>(r)));
+  for (std::size_t s = 0; s < kSubscriberStateCount; ++s)
+    obs_.subscribers[s] = &m.gauge(
+        "telemetry_subscribers", "state",
+        subscriber_state_name(static_cast<SubscriberState>(s)));
+  obs_.ring_seq = &m.gauge("telemetry_last_seq");
+  publish_metrics_locked();
+}
+
+void EventBus::publish_metrics_locked() {
+  if (obs_.hub == nullptr) return;
+  obs_.published->set(counters_.events_published);
+  obs_.enqueued->set(counters_.fanout_enqueued);
+  obs_.dropped->set(counters_.fanout_dropped);
+  obs_.coalesced->set(counters_.fanout_coalesced);
+  obs_.filtered->set(counters_.filtered_out);
+  obs_.subscribes->set(counters_.subscribes);
+  obs_.resumes->set(counters_.resumes);
+  obs_.replayed->set(counters_.replayed_events);
+  obs_.gap_sequences->set(counters_.gap_sequences);
+  for (std::size_t r = 0; r < kShedReasonCount; ++r)
+    obs_.sheds[r]->set(counters_.sheds[r]);
+  std::size_t by_state[kSubscriberStateCount] = {};
+  for (const auto& [id, sub] : subscriptions_) {
+    (void)id;
+    if (sub->state == SubscriberState::Shed)
+      ++by_state[static_cast<std::size_t>(SubscriberState::Shed)];
+    else if (sub->live)
+      ++by_state[static_cast<std::size_t>(sub->state)];
+  }
+  for (std::size_t s = 0; s < kSubscriberStateCount; ++s)
+    obs_.subscribers[s]->set(static_cast<double>(by_state[s]));
+  obs_.ring_seq->set(static_cast<double>(last_seq_));
+}
+
+}  // namespace tagbreathe::telemetry

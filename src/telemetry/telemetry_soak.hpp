@@ -1,0 +1,96 @@
+// Subscriber-chaos soak (ISSUE 7 acceptance harness).
+//
+// Runs the ISSUE-6 fleet chaos soak twice: once bare (baseline), once
+// with a TelemetryService tapped onto the merged event stream and a
+// population of TelemetryClients in four behaviour classes — healthy
+// (drain every pump, heartbeat on time), slow (drain every Nth pump so
+// their queues overflow), flapping (go silent in scripted windows, get
+// reaped by the heartbeat timeout, redial with their resume cursor) and
+// dead (stop stepping mid-run, never return). Gates:
+//
+// - non-interference: the tapped run's merged event-log hash and fleet
+//   counters are byte-identical to the baseline — 10k misbehaving
+//   subscribers cannot perturb the monitoring pipeline;
+// - conservation, per subscription ever created:
+//   published == delivered + dropped + coalesced after final shutdown
+//   (queued spills into dropped), and in aggregate
+//   bus.events_published == fleet events;
+// - ordering: no client ever observes a non-increasing sequence
+//   (replays and redials included);
+// - liveness: every healthy subscriber ends Streaming and fully caught
+//   up (cursor == bus last_seq).
+//
+// Everything is stream-time driven and seeded: two runs of the same
+// config produce identical reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet_soak.hpp"
+#include "telemetry/client.hpp"
+#include "telemetry/service.hpp"
+
+namespace tagbreathe::telemetry {
+
+struct SubscriberSoakConfig {
+  /// The chaos-injected fleet scenario (taps must be left empty; the
+  /// harness owns them).
+  fleet::FleetSoakConfig fleet{};
+  TelemetryServiceConfig service{};
+  std::size_t n_subscribers = 1000;
+  /// Ward filter granularity: users [1..users_per_ward] are ward 0, ...
+  std::size_t users_per_ward = 8;
+  /// Behaviour classes by subscriber index (0 disables a class).
+  /// Priority when indices collide: dead > flapping > slow.
+  std::size_t slow_every = 7;
+  std::size_t flapping_every = 11;
+  std::size_t dead_every = 13;
+  /// Slow subscribers step only every Nth pump.
+  std::size_t slow_stride = 4;
+  /// Dead subscribers stop stepping at this fraction of the run.
+  double dead_at_fraction = 0.4;
+  /// Flapping window script: active for flap_on_s out of every
+  /// flap_period_s. The off window must exceed the service heartbeat
+  /// timeout or flappers are never reaped.
+  double flap_period_s = 12.0;
+  double flap_on_s = 5.0;
+  double client_heartbeat_period_s = 1.0;
+  std::uint64_t seed = 42;
+  /// Run the bare fleet soak first and gate hash equality (costs a
+  /// second fleet run; turn off for benchmarks).
+  bool verify_baseline = true;
+  /// Optional hub for the tapped run (service + fleet bind to it).
+  obs::Observability* observability = nullptr;
+
+  void validate() const;
+};
+
+struct SubscriberSoakReport {
+  /// The tapped run's fleet report (hash, counters, violations).
+  fleet::FleetSoakReport fleet;
+  std::uint64_t baseline_event_log_hash = 0;
+  BusCounters bus;
+  ServiceCounters service;
+  std::vector<std::string> violations;
+
+  // Client-side aggregates.
+  std::uint64_t client_delivered = 0;
+  std::uint64_t client_gap_dropped = 0;
+  std::uint64_t client_replayed = 0;
+  std::uint64_t client_resume_gap = 0;
+  std::uint64_t client_dials = 0;
+  std::uint64_t client_sheds_received = 0;
+  std::uint64_t client_ordering_violations = 0;
+  std::size_t healthy_streaming_at_end = 0;
+  std::size_t healthy_subscribers = 0;
+
+  bool ok() const noexcept {
+    return violations.empty() && fleet.violations.empty();
+  }
+};
+
+SubscriberSoakReport run_subscriber_soak(const SubscriberSoakConfig& config);
+
+}  // namespace tagbreathe::telemetry

@@ -201,6 +201,44 @@ TEST(HealthFromSession, MapsProbeOntoFleetLadder) {
   EXPECT_EQ(health_from_session(redialing, cfg, pump), ReaderHealth::Dead);
 }
 
+// The ladder's comparisons are >= on both silence thresholds: exactly
+// at the boundary demotes (never the forgiving side), one tick below
+// does not. The redial branch mirrors that for the failure streak.
+TEST(HealthFromSession, ExactThresholdEdges) {
+  FleetConfig cfg;  // degraded after 4 windows, dead after 12
+  const double pump = 0.25;
+  const double degraded_s = 4 * pump;  // 1.0 — exact in binary
+  const double dead_s = 12 * pump;     // 3.0
+
+  llrp::SessionProbe p;
+  p.streaming = true;
+  p.state = llrp::SessionState::Streaming;
+
+  p.silence_s = degraded_s - 0.01;
+  EXPECT_EQ(health_from_session(p, cfg, pump), ReaderHealth::Up);
+  p.silence_s = degraded_s;
+  EXPECT_EQ(health_from_session(p, cfg, pump), ReaderHealth::Degraded);
+  p.silence_s = dead_s - 0.01;
+  EXPECT_EQ(health_from_session(p, cfg, pump), ReaderHealth::Degraded);
+  p.silence_s = dead_s;
+  EXPECT_EQ(health_from_session(p, cfg, pump), ReaderHealth::Dead);
+
+  // Redialing supervisor: one failure short of the dead threshold is
+  // still only Degraded; at the threshold the reader is lost; and a
+  // fresh streak of zero (dial in flight, nothing failed yet) is a
+  // degradation, never Up.
+  llrp::SessionProbe redialing;
+  redialing.streaming = false;
+  redialing.consecutive_failures = 11;
+  EXPECT_EQ(health_from_session(redialing, cfg, pump),
+            ReaderHealth::Degraded);
+  redialing.consecutive_failures = 12;
+  EXPECT_EQ(health_from_session(redialing, cfg, pump), ReaderHealth::Dead);
+  redialing.consecutive_failures = 0;
+  EXPECT_EQ(health_from_session(redialing, cfg, pump),
+            ReaderHealth::Degraded);
+}
+
 // ---------------------------------------------------------------------------
 // Routing, merge order, handoff
 
@@ -303,6 +341,37 @@ TEST(ReaderFleet, HandoffBeyondSuppressionWindowMigratesStream) {
   EXPECT_EQ(fleet.users_on_reader(0), 1u);  // user 8 stayed
   EXPECT_EQ(fleet.users_on_reader(1), 1u);
   // The pipeline kept one continuous stream: no state was dropped.
+  EXPECT_TRUE(fleet.shard_pipeline(fleet.shard_of(7)).tracks(7));
+}
+
+// The overlap window is half-open: a cross-reader read at EXACTLY
+// last_time + handoff_suppress_s is a migration, not a duplicate
+// (suppression uses strict <). Both sides of the boundary in one test
+// so the window can't silently widen or shrink.
+TEST(ReaderFleet, HandoffAtExactOverlapBoundaryRoutes) {
+  FleetConfig fc = fast_fleet(2, 1);
+  fc.handoff_suppress_s = 0.5;  // exact in binary, no epsilon games
+  ReaderFleet fleet(fc);
+  fleet.offer(0, make_read(1.0, 7));
+  fleet.pump(1.1);
+  ASSERT_TRUE(fleet.covering_reader(7).has_value());
+  ASSERT_EQ(*fleet.covering_reader(7), 0u);
+
+  // Strictly inside the window: overlap duplicate, suppressed. (A
+  // suppressed read must not refresh the window either — the boundary
+  // below is still measured from the t = 1.0 read.)
+  fleet.offer(1, make_read(1.25, 7));
+  fleet.pump(1.3);
+  EXPECT_EQ(fleet.counters().handoff_suppressed, 1u);
+  EXPECT_EQ(fleet.counters().handoffs, 0u);
+  EXPECT_EQ(*fleet.covering_reader(7), 0u);
+
+  // t == 1.0 + 0.5: the boundary read routes and migrates coverage.
+  fleet.offer(1, make_read(1.5, 7));
+  fleet.pump(1.6);
+  EXPECT_EQ(fleet.counters().handoffs, 1u);
+  EXPECT_EQ(fleet.counters().handoff_suppressed, 1u);
+  EXPECT_EQ(*fleet.covering_reader(7), 1u);
   EXPECT_TRUE(fleet.shard_pipeline(fleet.shard_of(7)).tracks(7));
 }
 

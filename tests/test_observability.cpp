@@ -27,6 +27,7 @@
 #include "core/chaos.hpp"
 #include "core/metrics.hpp"
 #include "core/recovery.hpp"
+#include "fleet/fleet_soak.hpp"
 #include "obs/export.hpp"
 #include "obs/observability.hpp"
 
@@ -352,6 +353,41 @@ TEST(Exporters, PrometheusLabelledHistogramBuckets) {
             std::string::npos);
 }
 
+TEST(Exporters, PrometheusEscapesHostileLabelValues) {
+  // Label VALUES are caller data and may carry the three characters the
+  // exposition format reserves: backslash, double quote and newline. An
+  // unescaped one silently corrupts the whole scrape, so this is a
+  // golden byte test.
+  Observability hub(8);
+  hub.metrics().counter("hostile_total", "reason", "a\\b\"c\nd").add(1);
+  hub.metrics().gauge("hostile_gauge", "path", "C:\\tmp\\x").set(2.0);
+  const double bounds[] = {1.0};
+  hub.metrics()
+      .histogram("hostile_seconds", bounds, "op", "say \"hi\"\n")
+      .observe(0.5);
+  const std::string text = obs::to_prometheus(hub.snapshot());
+  EXPECT_NE(text.find("hostile_total{reason=\"a\\\\b\\\"c\\nd\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("hostile_gauge{path=\"C:\\\\tmp\\\\x\"} 2\n"),
+            std::string::npos)
+      << text;
+  // Histogram series escape the label value on every synthesized line,
+  // and the internally generated le value stays untouched.
+  EXPECT_NE(
+      text.find("hostile_seconds_bucket{op=\"say \\\"hi\\\"\\n\",le=\"1\"} 1"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("hostile_seconds_count{op=\"say \\\"hi\\\"\\n\"} 1"),
+            std::string::npos)
+      << text;
+  // A raw (unescaped) newline inside a label value would orphan the
+  // value's tail onto its own exposition line.
+  EXPECT_EQ(text.find("\nd\""), std::string::npos) << text;
+  // Deterministic: a second snapshot exports the same bytes.
+  EXPECT_EQ(text, obs::to_prometheus(hub.snapshot()));
+}
+
 TEST(Exporters, JsonFormat) {
   Observability hub(8);
   hub.metrics().counter("a_total").add(3);
@@ -660,6 +696,51 @@ TEST(GoldenSnapshot, DurableSoakMirrorsDurabilityCounters) {
   // Fresh directory: nothing to replay, and the export says so too.
   EXPECT_EQ(counter_value(snap, "durability_replay_records_total"), 0u);
   EXPECT_EQ(counter_value(snap, "durability_snapshots_loaded_total"), 0u);
+}
+
+// Every fleet shard gets its own update-latency histogram, timed with
+// the hub clock — so with the deterministic clock the whole labelled
+// family (buckets included) must export byte-identically across runs.
+TEST(GoldenSnapshot, FleetShardUpdateLatencyIsLabelledAndByteStable) {
+  const auto run = [] {
+    auto hub = std::make_unique<Observability>(1 << 14);
+    hub->use_deterministic_clock();
+    fleet::FleetSoakConfig cfg;
+    cfg.n_readers = 4;
+    cfg.n_users = 8;
+    cfg.duration_s = 20.0;
+    cfg.fleet.n_shards = 3;
+    cfg.fleet.ingest.max_users = 0;
+    cfg.record_event_log = false;
+    cfg.observability = hub.get();
+    const fleet::FleetSoakReport report = fleet::run_fleet_soak(cfg);
+    EXPECT_TRUE(report.ok())
+        << (report.violations.empty() ? "" : report.violations.front());
+    const obs::ObservabilitySnapshot snap = hub->snapshot();
+    return std::make_pair(obs::to_prometheus(snap), obs::to_json(snap));
+  };
+  const auto [prom1, json1] = run();
+  const auto [prom2, json2] = run();
+  EXPECT_EQ(prom1, prom2);
+  EXPECT_EQ(json1, json2);
+
+  // One labelled series per shard, each with buckets, a count and a sum.
+  for (const char* shard : {"s00", "s01", "s02"}) {
+    const std::string sel = std::string("{shard=\"") + shard + "\"";
+    EXPECT_NE(
+        prom1.find("fleet_shard_update_latency_seconds_bucket" + sel),
+        std::string::npos)
+        << shard;
+    EXPECT_NE(prom1.find("fleet_shard_update_latency_seconds_count" + sel),
+              std::string::npos)
+        << shard;
+    EXPECT_NE(prom1.find("fleet_shard_update_latency_seconds_sum" + sel),
+              std::string::npos)
+        << shard;
+  }
+  // No shard beyond the configured three.
+  EXPECT_EQ(prom1.find("fleet_shard_update_latency_seconds_count{shard=\"s03\""),
+            std::string::npos);
 }
 
 }  // namespace

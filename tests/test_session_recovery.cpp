@@ -130,6 +130,49 @@ TEST(SessionRecovery, KeepaliveWatchdogRecoversFromSilentStall) {
             0.0);
 }
 
+// The probe's consecutive_failures streak must climb monotonically
+// while every dial inside an outage fails, and collapse to ZERO after
+// ONE completed re-arm — a single success wipes the streak, so the
+// fleet's Dead verdict never lingers on a reader that just recovered.
+TEST(SessionRecovery, ProbeFailureStreakResetsOnSingleSuccessfulRearm) {
+  std::unique_ptr<body::Subject> subject;
+  SupervisedSessionConfig cfg;
+  cfg.faults.seed = 5;
+  cfg.faults.disconnect_period_s = 10.0;
+  cfg.faults.disconnect_duration_s = 4.0;  // outage spans t = 10 .. 14
+  cfg.supervisor.backoff_max_s = 0.5;      // keep redials frequent
+  SupervisedSession session(cfg, make_sim(subject));
+
+  // The radio sim overshoots requested durations by a few percent
+  // (inventory-round quantisation), so steer by now_s(), not by the
+  // sum of advances.
+  while (session.now_s() < 9.2) session.advance(0.25);
+  ASSERT_LT(session.now_s(), 10.0);  // still before the outage
+  ASSERT_TRUE(session.supervisor().streaming());
+  EXPECT_EQ(session.supervisor().probe(session.now_s()).consecutive_failures,
+            0u);
+
+  while (session.now_s() < 11.5) session.advance(0.25);  // mid-outage
+  const SessionProbe mid = session.supervisor().probe(session.now_s());
+  EXPECT_FALSE(mid.streaming);
+  EXPECT_GE(mid.consecutive_failures, 1u);
+
+  while (session.now_s() < 13.2) session.advance(0.25);  // still down
+  ASSERT_LT(session.now_s(), 14.0);
+  const SessionProbe late = session.supervisor().probe(session.now_s());
+  EXPECT_FALSE(late.streaming);
+  EXPECT_GE(late.consecutive_failures, mid.consecutive_failures);
+  EXPECT_GE(late.consecutive_failures, 3u);
+
+  // Outage lifts at t = 14; the capped backoff redials within ~0.6 s
+  // and a single ADD/ENABLE/START cycle completes.
+  while (session.now_s() < 17.5) session.advance(0.25);
+  ASSERT_LT(session.now_s(), 20.0);  // before the next outage
+  const SessionProbe after = session.supervisor().probe(session.now_s());
+  EXPECT_TRUE(after.streaming);
+  EXPECT_EQ(after.consecutive_failures, 0u);
+}
+
 TEST(SessionRecovery, CorruptFramesResyncWithoutLosingTheSession) {
   std::unique_ptr<body::Subject> subject;
   SupervisedSessionConfig cfg;
