@@ -10,6 +10,8 @@
 #include "core/phase_preprocess.hpp"
 #include "signal/fft.hpp"
 #include "signal/fir.hpp"
+#include "signal/simd/dispatch.hpp"
+#include "signal/simd/kernels.hpp"
 #include "signal/spectrum.hpp"
 
 using namespace tagbreathe;
@@ -167,6 +169,118 @@ void BM_Goertzel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Goertzel);
+
+// --- SIMD dispatch: scalar baseline vs the active vector level --------------
+//
+// range(0) selects the kernel table: 0 pins the scalar reference, 1 the
+// level the hardware probe picked (on a machine without AVX2/NEON the
+// override falls back to scalar, so the two rows simply coincide). The
+// label records which table actually ran. Outputs are bit-identical
+// across rows by the dispatch contract — only the time differs.
+
+struct LevelGuard {
+  explicit LevelGuard(benchmark::State& state) {
+    const bool vector = state.range(0) != 0;
+    const auto want = vector ? signal::simd::detected_level()
+                             : signal::simd::SimdLevel::Scalar;
+    const auto got = signal::simd::override_level_for_testing(want);
+    state.SetLabel(signal::simd::simd_level_name(got));
+  }
+  ~LevelGuard() { signal::simd::reset_dispatch_for_testing(); }
+};
+
+void BM_PhaseDeltasKernel(benchmark::State& state) {
+  // The Eq. 3 delta loop alone: wrap-to-(-pi, pi] plus per-channel
+  // scaling over one preprocessed stream's worth of samples.
+  LevelGuard guard(state);
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto dphase = noise_signal(n, 21);
+  std::vector<double> scale(n, 0.0259);
+  std::vector<double> out(n);
+  const auto& k = signal::simd::kernels();
+  for (auto _ : state) {
+    k.phase_deltas(dphase.data(), scale.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PhaseDeltasKernel)
+    ->ArgNames({"vector", "n"})
+    ->ArgsProduct({{0, 1}, {64, 1024, 16384}});
+
+void BM_ButterflyKernel(benchmark::State& state) {
+  // One mid-size butterfly stage (half = n/4: strided blocks, the shape
+  // most stages take) over a pow2 array.
+  LevelGuard guard(state);
+  const auto n = static_cast<std::size_t>(state.range(1));
+  auto data = noise_complex(n, 22);
+  const auto tw = noise_complex(n / 4, 23);
+  const auto& k = signal::simd::kernels();
+  for (auto _ : state) {
+    k.butterfly_stage(data.data(), n, n / 4, tw.data());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ButterflyKernel)
+    ->ArgNames({"vector", "n"})
+    ->ArgsProduct({{0, 1}, {1024, 16384}});
+
+void BM_FftPlannedLevel(benchmark::State& state) {
+  // The planned transform at the realtime engine's track lengths:
+  // 600 (Bluestein, the 30 s fused track) and 1024 (pure pow2).
+  LevelGuard guard(state);
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto data = noise_complex(n, 24);
+  const auto plan = signal::FftPlan::get(n, signal::FftDirection::Forward);
+  signal::FftScratch scratch;
+  std::vector<signal::cdouble> out(n);
+  for (auto _ : state) {
+    plan->execute(data, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FftPlannedLevel)
+    ->ArgNames({"vector", "n"})
+    ->ArgsProduct({{0, 1}, {600, 1024}});
+
+// --- batched sweeps: fft_bandlimit_many vs per-job calls --------------------
+
+void BM_BandlimitSweep(benchmark::State& state) {
+  // The extraction stage's filter shape: `jobs` 600-sample tracks
+  // band-limited to the breathing band. range(1)=1 stages every job and
+  // runs one fft_bandlimit_many sweep (shared plan lookup, one warm
+  // workspace); range(1)=0 issues the same filters one call at a time.
+  // Identical outputs either way — the sweep only amortises plan-cache
+  // hits and keeps the twiddles/chirps hot across jobs.
+  LevelGuard guard(state);
+  const bool batched = state.range(1) != 0;
+  const auto jobs_n = static_cast<std::size_t>(state.range(2));
+  std::vector<std::vector<double>> tracks(jobs_n);
+  for (std::size_t j = 0; j < jobs_n; ++j)
+    tracks[j] = noise_signal(600, 31 + j);
+  signal::FftWorkspace ws;
+  std::vector<std::vector<double>> out(jobs_n);
+  std::vector<signal::BandLimitJob> jobs(jobs_n);
+  for (auto _ : state) {
+    if (batched) {
+      for (std::size_t j = 0; j < jobs_n; ++j)
+        jobs[j] = signal::BandLimitJob{tracks[j], 20.0, 0.075, 0.67, &out[j]};
+      signal::fft_bandlimit_many(jobs, ws);
+    } else {
+      for (std::size_t j = 0; j < jobs_n; ++j)
+        signal::fft_bandpass_into(tracks[j], 20.0, 0.075, 0.67, ws, out[j]);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(jobs_n));
+}
+BENCHMARK(BM_BandlimitSweep)
+    ->ArgNames({"vector", "batched", "jobs"})
+    ->ArgsProduct({{0, 1}, {0, 1}, {16, 64}})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_FuseStreams(benchmark::State& state) {
   // Three 120 s delta streams at ~60 Hz each.

@@ -3,9 +3,11 @@
 // live deployment — the paper's pipeline ran in realtime on a laptop).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <map>
+#include <span>
 #include <string>
 #include <memory>
 #include <thread>
@@ -17,6 +19,7 @@
 #include "core/monitor.hpp"
 #include "core/pipeline.hpp"
 #include "experiments/runner.hpp"
+#include "signal/simd/dispatch.hpp"
 
 using namespace tagbreathe;
 
@@ -198,17 +201,60 @@ BENCHMARK(BM_AnalysisFanout)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+void BM_AnalysisFanoutBatched(benchmark::State& state) {
+  // The SIMD + batching curves the acceptance gate reads: the same
+  // per-tick fan-out as BM_AnalysisFanout (serial engine) but driven
+  // through analyze_users in `batch`-user chunks, with the kernel table
+  // pinned to scalar (vector=0) or the probed vector level (vector=1).
+  // batch:1 is the legacy per-user shape; outputs are bit-identical
+  // across every row — only the time moves.
+  const auto users = static_cast<std::size_t>(state.range(0));
+  const bool vector = state.range(1) != 0;
+  const auto batch = static_cast<std::size_t>(state.range(2));
+  const auto want = vector ? signal::simd::detected_level()
+                           : signal::simd::SimdLevel::Scalar;
+  state.SetLabel(signal::simd::simd_level_name(
+      signal::simd::override_level_for_testing(want)));
+  const core::StreamDemux& demux = synthetic_demux(users);
+  core::BreathMonitor monitor;
+  core::AnalysisScratch scratch;
+  std::vector<std::uint64_t> ids(users);
+  for (std::size_t i = 0; i < users; ++i)
+    ids[i] = static_cast<std::uint64_t>(i + 1);
+  std::vector<core::UserAnalysis> results(users);
+  for (auto _ : state) {
+    for (std::size_t begin = 0; begin < users; begin += batch) {
+      const std::size_t count = std::min(batch, users - begin);
+      monitor.analyze_users(demux,
+                            std::span<const std::uint64_t>(&ids[begin], count),
+                            5.0, 35.0, &scratch,
+                            std::span<core::UserAnalysis>(&results[begin], count));
+    }
+    benchmark::DoNotOptimize(results.data());
+  }
+  signal::simd::reset_dispatch_for_testing();
+  state.counters["users/s"] = benchmark::Counter(
+      static_cast<double>(users), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AnalysisFanoutBatched)
+    ->ArgNames({"users", "vector", "batch"})
+    ->ArgsProduct({{64, 512, 1024}, {0, 1}, {1, 16}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_PipelineMultiUser(benchmark::State& state) {
   // The whole realtime pipeline fed a 30 s multi-user stream: ingest,
   // dirty-window bookkeeping, the parallel fan-out and the event state
   // machine. range(0) = users, range(1) = analysis threads, range(2) =
-  // skip_clean_users.
+  // skip_clean_users, range(3) = analysis_batch (1 = legacy per-user
+  // work items, 16 = chunked fft_many sweeps).
   const auto users = static_cast<std::size_t>(state.range(0));
   const auto reads = synthetic_reads(users, 30.0);
   for (auto _ : state) {
     core::PipelineConfig cfg;
     cfg.analysis_threads = static_cast<std::size_t>(state.range(1));
     cfg.skip_clean_users = state.range(2) != 0;
+    cfg.analysis_batch = static_cast<std::size_t>(state.range(3));
     core::RealtimePipeline pipeline(cfg, nullptr);
     for (const auto& r : reads) pipeline.push(r);
     benchmark::DoNotOptimize(pipeline.latest().size());
@@ -217,8 +263,8 @@ void BM_PipelineMultiUser(benchmark::State& state) {
       static_cast<double>(reads.size()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_PipelineMultiUser)
-    ->ArgNames({"users", "threads", "skip"})
-    ->ArgsProduct({{8, 64}, {0, 2}, {0, 1}})
+    ->ArgNames({"users", "threads", "skip", "batch"})
+    ->ArgsProduct({{8, 64}, {0, 2}, {0, 1}, {1, 16}})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -68,7 +68,11 @@ class AnalysisPool {
   std::exception_ptr first_error_;
   bool stopping_ = false;
 
-  std::atomic<std::size_t> next_{0};
+  /// Shared work-claim index, hammered by every slot during a batch.
+  /// Own cache line: without the alignment it shares a line with the
+  /// cold batch bookkeeping above, and each claim's RMW would bounce
+  /// that line through every core reading the bookkeeping.
+  alignas(64) std::atomic<std::size_t> next_{0};
 };
 
 }  // namespace tagbreathe::core

@@ -43,88 +43,153 @@ BreathExtractor::BreathExtractor(ExtractorConfig config) : config_(config) {
 BreathSignal BreathExtractor::extract(
     std::span<const signal::TimedSample> track, double sample_rate_hz,
     signal::FftWorkspace* workspace) const {
-  if (sample_rate_hz <= 0.0)
-    throw std::invalid_argument("BreathExtractor: bad sample rate");
-
   BreathSignal out;
-  out.sample_rate_hz = sample_rate_hz;
-  if (track.size() < 4) return out;
-
   signal::FftWorkspace local_ws;
   signal::FftWorkspace& ws = workspace != nullptr ? *workspace : local_ws;
+  ExtractScratch scratch;  // staging is throwaway; the plans in `ws` stay warm
+  const ExtractJob job{track, sample_rate_hz, &out};
+  extract_many({&job, 1}, ws, scratch);
+  return out;
+}
 
-  std::vector<double> values;
-  values.reserve(track.size());
-  for (const auto& s : track) values.push_back(s.value);
+void BreathExtractor::extract_many(std::span<const ExtractJob> jobs,
+                                   signal::FftWorkspace& ws,
+                                   ExtractScratch& scratch) const {
+  const std::size_t count = jobs.size();
+  if (count == 0) return;
+  for (const ExtractJob& job : jobs) {
+    if (job.sample_rate_hz <= 0.0)
+      throw std::invalid_argument("BreathExtractor: bad sample rate");
+  }
 
-  if (config_.detrend) signal::detrend_linear(values);
+  // High-water staging (outer arrays never shrink; inner buffers keep
+  // their capacity across assigns).
+  if (scratch.values.size() < count) {
+    scratch.values.resize(count);
+    scratch.coarse.resize(count);
+    scratch.filtered.resize(count);
+  }
+  scratch.band_lo.assign(count, config_.low_cut_hz);
+  scratch.band_hi.assign(count, config_.cutoff_hz);
+  scratch.active.assign(count, 1);
 
-  // Effective pass band: the configured [low_cut, cutoff], optionally
-  // narrowed around the located spectral peak.
-  double band_lo = config_.low_cut_hz;
-  double band_hi = config_.cutoff_hz;
+  // Stage 1 (per job): condition the track values.
+  for (std::size_t j = 0; j < count; ++j) {
+    const ExtractJob& job = jobs[j];
+    BreathSignal& out = *job.out;
+    out.samples.clear();
+    out.sample_rate_hz = job.sample_rate_hz;
+    if (job.track.size() < 4) {
+      scratch.active[j] = 0;
+      continue;
+    }
+    std::vector<double>& values = scratch.values[j];
+    values.resize(job.track.size());
+    for (std::size_t i = 0; i < job.track.size(); ++i)
+      values[i] = job.track[i].value;
+    if (config_.detrend) signal::detrend_linear(values);
+  }
+
+  // Stage 2: effective pass band — the configured [low_cut, cutoff],
+  // optionally narrowed around the located spectral peak. The coarse
+  // low-pass that feeds the peak search runs as ONE batched transform
+  // sweep; the ACF peak search stays per job.
   if (config_.adaptive_band) {
+    scratch.filter_jobs.clear();
+    for (std::size_t j = 0; j < count; ++j) {
+      if (scratch.active[j] == 0) continue;
+      scratch.filter_jobs.push_back(signal::BandLimitJob{
+          scratch.values[j], jobs[j].sample_rate_hz, signal::kDcRejectHz,
+          config_.cutoff_hz, &scratch.coarse[j]});
+    }
+    signal::fft_bandlimit_many(scratch.filter_jobs, ws);
+
     const double floor_hz =
         std::max(config_.low_cut_hz, config_.peak_search_floor_hz);
-    // Seed the band from the autocorrelation fundamental of the
-    // coarse-low-passed track: the ACF pools the fundamental and its
-    // harmonics at the true period and tolerates the track's mixed
-    // white + random-walk noise far better than spectral peak-picking.
-    std::vector<double> coarse;
-    signal::fft_lowpass_into(values, sample_rate_hz, config_.cutoff_hz,
-                             /*remove_dc=*/true, ws, coarse);
-    const double f0 = signal::autocorrelation_fundamental(
-        coarse, sample_rate_hz, floor_hz, config_.cutoff_hz);
-    if (f0 > 0.0) {
-      band_lo = std::max(band_lo, config_.adaptive_lo_frac * f0);
-      band_hi = std::min(band_hi, config_.adaptive_hi_frac * f0);
-      if (band_hi <= band_lo) {  // degenerate: fall back to full band
-        band_lo = config_.low_cut_hz;
-        band_hi = config_.cutoff_hz;
+    for (std::size_t j = 0; j < count; ++j) {
+      if (scratch.active[j] == 0) continue;
+      // Seed the band from the autocorrelation fundamental of the
+      // coarse-low-passed track: the ACF pools the fundamental and its
+      // harmonics at the true period and tolerates the track's mixed
+      // white + random-walk noise far better than spectral peak-picking.
+      const double f0 = signal::autocorrelation_fundamental(
+          scratch.coarse[j], jobs[j].sample_rate_hz, floor_hz,
+          config_.cutoff_hz);
+      if (f0 > 0.0) {
+        double lo = std::max(scratch.band_lo[j], config_.adaptive_lo_frac * f0);
+        double hi = std::min(scratch.band_hi[j], config_.adaptive_hi_frac * f0);
+        if (hi <= lo) {  // degenerate: fall back to full band
+          lo = config_.low_cut_hz;
+          hi = config_.cutoff_hz;
+        }
+        scratch.band_lo[j] = lo;
+        scratch.band_hi[j] = hi;
       }
     }
   }
 
-  std::vector<double> filtered;
+  // Stage 3: the main filter.
   switch (config_.filter) {
     case FilterKind::FftLowpass: {
-      if (band_lo > 0.0) {
-        signal::fft_bandpass_into(values, sample_rate_hz, band_lo, band_hi,
-                                  ws, filtered);
-      } else {
-        signal::fft_lowpass_into(values, sample_rate_hz, band_hi,
-                                 /*remove_dc=*/true, ws, filtered);
+      // One batched band-limit sweep; a zero low cut becomes the DC
+      // reject exactly as fft_lowpass_into(remove_dc=true) would.
+      scratch.filter_jobs.clear();
+      for (std::size_t j = 0; j < count; ++j) {
+        if (scratch.active[j] == 0) continue;
+        const double f_lo = scratch.band_lo[j] > 0.0 ? scratch.band_lo[j]
+                                                     : signal::kDcRejectHz;
+        scratch.filter_jobs.push_back(signal::BandLimitJob{
+            scratch.values[j], jobs[j].sample_rate_hz, f_lo,
+            scratch.band_hi[j], &scratch.filtered[j]});
       }
+      signal::fft_bandlimit_many(scratch.filter_jobs, ws);
       break;
     }
     case FilterKind::FirLowpass: {
-      // Nyquist guard: with very slow fused streams the requested cutoff
-      // may not fit; clamp into the valid design range.
-      const double nyquist = sample_rate_hz / 2.0;
-      const double cutoff = std::min(band_hi, 0.9 * nyquist);
-      std::size_t taps =
-          signal::suggest_num_taps(config_.fir_transition_hz, sample_rate_hz);
-      // Keep the kernel shorter than the window (filtfilt needs room).
-      const std::size_t max_taps =
-          track.size() % 2 == 0 ? track.size() - 1 : track.size();
-      if (taps > max_taps) taps = max_taps % 2 == 0 ? max_taps - 1 : max_taps;
-      if (taps < 3) return out;
-      const auto kernel =
-          band_lo > 0.0
-              ? signal::design_bandpass(band_lo, cutoff, sample_rate_hz, taps)
-              : signal::design_lowpass(cutoff, sample_rate_hz, taps);
-      filtered = signal::filtfilt(values, kernel);
-      // The FIR band-pass does not remove DC exactly when low_cut = 0;
-      // subtract the mean for a symmetric zero-crossing signal.
-      common::remove_mean(filtered);
+      for (std::size_t j = 0; j < count; ++j) {
+        if (scratch.active[j] == 0) continue;
+        const ExtractJob& job = jobs[j];
+        // Nyquist guard: with very slow fused streams the requested
+        // cutoff may not fit; clamp into the valid design range.
+        const double nyquist = job.sample_rate_hz / 2.0;
+        const double cutoff = std::min(scratch.band_hi[j], 0.9 * nyquist);
+        std::size_t taps = signal::suggest_num_taps(config_.fir_transition_hz,
+                                                    job.sample_rate_hz);
+        // Keep the kernel shorter than the window (filtfilt needs room).
+        const std::size_t max_taps =
+            job.track.size() % 2 == 0 ? job.track.size() - 1
+                                      : job.track.size();
+        if (taps > max_taps)
+          taps = max_taps % 2 == 0 ? max_taps - 1 : max_taps;
+        if (taps < 3) {
+          scratch.active[j] = 0;  // too short: empty signal, like single
+          continue;
+        }
+        const auto kernel =
+            scratch.band_lo[j] > 0.0
+                ? signal::design_bandpass(scratch.band_lo[j], cutoff,
+                                          job.sample_rate_hz, taps)
+                : signal::design_lowpass(cutoff, job.sample_rate_hz, taps);
+        scratch.filtered[j] = signal::filtfilt(scratch.values[j], kernel);
+        // The FIR band-pass does not remove DC exactly when low_cut = 0;
+        // subtract the mean for a symmetric zero-crossing signal.
+        common::remove_mean(scratch.filtered[j]);
+      }
       break;
     }
   }
 
-  out.samples.reserve(track.size());
-  for (std::size_t i = 0; i < track.size(); ++i)
-    out.samples.push_back(signal::TimedSample{track[i].time_s, filtered[i]});
-  return out;
+  // Stage 4 (per job): emit the filtered samples on the track's grid.
+  for (std::size_t j = 0; j < count; ++j) {
+    if (scratch.active[j] == 0) continue;
+    const ExtractJob& job = jobs[j];
+    BreathSignal& out = *job.out;
+    const std::vector<double>& filtered = scratch.filtered[j];
+    out.samples.reserve(job.track.size());
+    for (std::size_t i = 0; i < job.track.size(); ++i)
+      out.samples.push_back(
+          signal::TimedSample{job.track[i].time_s, filtered[i]});
+  }
 }
 
 }  // namespace tagbreathe::core

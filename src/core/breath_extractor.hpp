@@ -60,6 +60,28 @@ struct BreathSignal {
   std::vector<double> times() const;
 };
 
+/// One track of a batched extraction sweep.
+struct ExtractJob {
+  std::span<const signal::TimedSample> track;
+  double sample_rate_hz = 0.0;
+  BreathSignal* out = nullptr;
+};
+
+/// Reusable staging for extract_many: per-job conditioned values, coarse
+/// low-pass outputs and filter outputs (all live at once across the
+/// batched transform sweeps), plus the filter-job array. High-water
+/// sized — nothing shrinks — so a warm scratch runs any previously-seen
+/// batch shape without allocating.
+struct ExtractScratch {
+  std::vector<std::vector<double>> values;
+  std::vector<std::vector<double>> coarse;
+  std::vector<std::vector<double>> filtered;
+  std::vector<signal::BandLimitJob> filter_jobs;
+  std::vector<double> band_lo;
+  std::vector<double> band_hi;
+  std::vector<unsigned char> active;
+};
+
 class BreathExtractor {
  public:
   explicit BreathExtractor(ExtractorConfig config = {});
@@ -69,9 +91,21 @@ class BreathExtractor {
   /// reusable FFT workspace: the realtime engine passes one per worker
   /// so the filter's transforms run through cached plans without
   /// per-call allocation; nullptr uses a local throwaway workspace.
+  /// Delegates to extract_many with a one-job batch — single and
+  /// batched extraction share one code path and produce bit-identical
+  /// signals.
   BreathSignal extract(std::span<const signal::TimedSample> track,
                        double sample_rate_hz,
                        signal::FftWorkspace* workspace = nullptr) const;
+
+  /// Batched extraction: conditions every track, runs the coarse
+  /// adaptive-band low-pass and the main band filter as batched
+  /// transform sweeps (fft_bandlimit_many) through the shared plan, and
+  /// fills every job's `out`. Thread-safe for distinct workspaces and
+  /// scratches.
+  void extract_many(std::span<const ExtractJob> jobs,
+                    signal::FftWorkspace& workspace,
+                    ExtractScratch& scratch) const;
 
   const ExtractorConfig& config() const noexcept { return config_; }
 

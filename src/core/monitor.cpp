@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "obs/observability.hpp"
 
@@ -51,25 +52,27 @@ std::vector<UserAnalysis> BreathMonitor::analyze(
     t1 = std::max(t1, r.time_s);
   }
 
-  for (std::uint64_t user : demux.users())
-    out.push_back(analyze_user(demux, user, t0, t1));
+  const std::vector<std::uint64_t> users = demux.users();
+  out.resize(users.size());
+  AnalysisScratch scratch;
+  analyze_users(demux, users, t0, t1, &scratch, out);
   return out;
 }
 
-UserAnalysis BreathMonitor::analyze_user(const StreamDemux& demux,
-                                         std::uint64_t user_id, double t0,
-                                         double t1,
-                                         AnalysisScratch* scratch) const {
-  UserAnalysis out;
+bool BreathMonitor::analyze_prepare(const StreamDemux& demux,
+                                    std::uint64_t user_id, double t0,
+                                    double t1, AnalysisScratch& scratch,
+                                    UserAnalysis& out,
+                                    double& stage_mark) const {
+  out = UserAnalysis{};
   out.user_id = user_id;
   out.window_s = std::max(t1 - t0, 0.0);
 
   if (obs_.hub != nullptr)
     obs_.hub->trace().enter(obs_.trace_stage, t1, user_id);
-  AnalyzeTraceGuard trace_guard{obs_.hub, obs_.trace_stage, t1, user_id};
 
   const auto all_streams = demux.streams_for_user(user_id);
-  if (all_streams.empty()) return out;
+  if (all_streams.empty()) return false;
 
   // Signal health: judged over every stream the user has, so a working
   // set that went quiet is not mistaken for a healthy signal.
@@ -131,7 +134,7 @@ UserAnalysis BreathMonitor::analyze_user(const StreamDemux& demux,
 
   // Stage timings read the hub's latency clock once per boundary; with
   // the hub unbound `stage_mark` stays 0 and no histogram is touched.
-  double stage_mark = obs_.hub != nullptr ? obs_.hub->now() : 0.0;
+  stage_mark = obs_.hub != nullptr ? obs_.hub->now() : 0.0;
   const auto time_stage = [&](obs::Histogram* h) {
     if (obs_.hub == nullptr) return;
     const double now = obs_.hub->now();
@@ -139,35 +142,112 @@ UserAnalysis BreathMonitor::analyze_user(const StreamDemux& demux,
     stage_mark = now;
   };
 
-  // Phase preprocessing per stream (Eqs. 3-4).
-  std::vector<std::vector<signal::TimedSample>> delta_streams;
-  delta_streams.reserve(working.size());
-  for (const auto* stream : working) {
-    PhasePreprocessor pre(config_.preprocess);
-    delta_streams.push_back(pre.process(*stream));
-    out.reads_used += stream->size();
+  // Phase preprocessing per stream (Eqs. 3-4), through the slot's pooled
+  // preprocessor (reconfigure() restores the fresh-instance state while
+  // keeping every buffer's high-water capacity).
+  auto& deltas = scratch.deltas;
+  if (deltas.size() < working.size()) deltas.resize(working.size());
+  for (std::size_t k = 0; k < working.size(); ++k) {
+    scratch.pre.reconfigure(config_.preprocess);
+    scratch.pre.process_into(*working[k], deltas[k]);
+    out.reads_used += working[k]->size();
   }
-  out.streams_used = delta_streams.size();
+  out.streams_used = working.size();
   time_stage(obs_.preprocess);
 
-  // Low-level fusion (Eqs. 6-7) over the window.
-  const FusedTrack fused =
-      fuse_streams(delta_streams, t0, t1, config_.fusion);
+  // Low-level fusion (Eqs. 6-7) over the window. Only the prefix of the
+  // delta staging belongs to this user — older entries are stale.
+  const FusedTrack fused = fuse_streams(
+      std::span<const std::vector<signal::TimedSample>>(deltas.data(),
+                                                        working.size()),
+      t0, t1, config_.fusion);
   out.fused_track = fused.track;
   out.track_rate_hz = fused.sample_rate_hz();
   time_stage(obs_.fuse);
-  if (out.fused_track.size() < 8) return out;
+  return out.fused_track.size() >= 8;
+}
 
-  // Breath-signal extraction + rate estimation.
+UserAnalysis BreathMonitor::analyze_user(const StreamDemux& demux,
+                                         std::uint64_t user_id, double t0,
+                                         double t1,
+                                         AnalysisScratch* scratch) const {
+  UserAnalysis out;
+  AnalysisScratch local;
+  AnalysisScratch& s = scratch != nullptr ? *scratch : local;
+  AnalyzeTraceGuard trace_guard{obs_.hub, obs_.trace_stage, t1, user_id};
+
+  double stage_mark = 0.0;
+  if (!analyze_prepare(demux, user_id, t0, t1, s, out, stage_mark))
+    return out;
+  const auto time_stage = [&](obs::Histogram* h) {
+    if (obs_.hub == nullptr) return;
+    const double now = obs_.hub->now();
+    h->observe(now - stage_mark);
+    stage_mark = now;
+  };
+
+  // Breath-signal extraction + rate estimation. A one-job batch through
+  // extract_many — the same code path the batched engine takes, so
+  // single and batched analyses are bit-identical.
   const BreathExtractor extractor(config_.extractor);
-  out.breath = extractor.extract(out.fused_track, out.track_rate_hz,
-                                 scratch != nullptr ? &scratch->fft : nullptr);
+  const ExtractJob job{out.fused_track, out.track_rate_hz, &out.breath};
+  extractor.extract_many({&job, 1}, s.fft, s.extract);
   time_stage(obs_.extract);
 
   const ZeroCrossingRateEstimator estimator(config_.rate);
   out.rate = estimator.estimate(out.breath.samples);
   time_stage(obs_.estimate);
   return out;
+}
+
+void BreathMonitor::analyze_users(const StreamDemux& demux,
+                                  std::span<const std::uint64_t> user_ids,
+                                  double t0, double t1,
+                                  AnalysisScratch* scratch,
+                                  std::span<UserAnalysis> out) const {
+  if (out.size() != user_ids.size())
+    throw std::invalid_argument(
+        "BreathMonitor: analyze_users out/user_ids size mismatch");
+  if (user_ids.empty()) return;
+  AnalysisScratch local;
+  AnalysisScratch& s = scratch != nullptr ? *scratch : local;
+  const std::size_t count = user_ids.size();
+
+  // Stage A (per user): the pre-extraction workflow; ready fused tracks
+  // are staged as extraction jobs. Users that cannot be extracted finish
+  // here (their trace span closes immediately, like the single path).
+  s.extract_jobs.clear();
+  double stage_mark = 0.0;
+  for (std::size_t j = 0; j < count; ++j) {
+    if (analyze_prepare(demux, user_ids[j], t0, t1, s, out[j], stage_mark)) {
+      s.extract_jobs.push_back(
+          ExtractJob{out[j].fused_track, out[j].track_rate_hz,
+                     &out[j].breath});
+    } else if (obs_.hub != nullptr) {
+      obs_.hub->trace().exit(obs_.trace_stage, t1, user_ids[j]);
+    }
+  }
+
+  // Stage B: ONE batched extraction sweep over every ready track. The
+  // whole batch's transforms run through the shared plan back to back;
+  // the extract histogram observes the sweep once.
+  const BreathExtractor extractor(config_.extractor);
+  const double extract_mark = obs_.hub != nullptr ? obs_.hub->now() : 0.0;
+  extractor.extract_many(s.extract_jobs, s.fft, s.extract);
+  if (obs_.hub != nullptr && !s.extract_jobs.empty())
+    obs_.extract->observe(obs_.hub->now() - extract_mark);
+
+  // Stage C (per user): rate estimation over the extracted signal.
+  const ZeroCrossingRateEstimator estimator(config_.rate);
+  for (std::size_t j = 0; j < count; ++j) {
+    if (out[j].fused_track.size() < 8) continue;  // finished in stage A
+    const double mark = obs_.hub != nullptr ? obs_.hub->now() : 0.0;
+    out[j].rate = estimator.estimate(out[j].breath.samples);
+    if (obs_.hub != nullptr) {
+      obs_.estimate->observe(obs_.hub->now() - mark);
+      obs_.hub->trace().exit(obs_.trace_stage, t1, user_ids[j]);
+    }
+  }
 }
 
 void BreathMonitor::bind_observability(obs::Observability& hub) {

@@ -63,8 +63,23 @@ struct MonitorConfig {
 /// keeps one per pool slot so the FFT filter runs through a warm,
 /// allocation-free workspace; passing nullptr makes analyze_user
 /// allocate a throwaway workspace (the legacy behaviour).
-struct AnalysisScratch {
+///
+/// Cache-line aligned: slots live side by side in the pool's scratch
+/// array and are written by different worker threads, so the 64-byte
+/// alignment keeps two slots from sharing a line (false sharing).
+struct alignas(64) AnalysisScratch {
   signal::FftWorkspace fft;
+  /// Staging for the batched extract_many sweep.
+  ExtractScratch extract;
+  /// Pooled preprocessor, reconfigure()d per stream — reuses its
+  /// channel-table and staging capacity across every stream analysed
+  /// from this slot.
+  PhasePreprocessor pre;
+  /// Per-stream delta staging; the first working.size() entries are
+  /// live for the user currently being prepared.
+  std::vector<std::vector<signal::TimedSample>> deltas;
+  /// Extraction jobs staged across one analyze_users batch.
+  std::vector<ExtractJob> extract_jobs;
 };
 
 /// Everything TagBreathe derives for one user from one window.
@@ -117,6 +132,19 @@ class BreathMonitor {
                             double t0, double t1,
                             AnalysisScratch* scratch = nullptr) const;
 
+  /// Batched analysis: runs the pre-extraction stages (health, antenna
+  /// selection, preprocessing, fusion) per user, then extracts every
+  /// ready fused track in ONE extract_many sweep, so the batch's
+  /// transforms march through the shared FFT plan back to back with one
+  /// plan-cache hit per size. `out.size()` must equal `user_ids.size()`;
+  /// each slot is overwritten. Results are bit-identical to per-user
+  /// analyze_user calls — the batched and single paths share every
+  /// arithmetic code path. Thread-safe for distinct scratches.
+  void analyze_users(const StreamDemux& demux,
+                     std::span<const std::uint64_t> user_ids, double t0,
+                     double t1, AnalysisScratch* scratch,
+                     std::span<UserAnalysis> out) const;
+
   const MonitorConfig& config() const noexcept { return config_; }
 
   /// Registers per-stage latency histograms
@@ -128,6 +156,16 @@ class BreathMonitor {
   void bind_observability(obs::Observability& hub);
 
  private:
+  /// Shared front half of analyze_user/analyze_users: resets `out`,
+  /// emits the trace Enter, runs health scan, antenna selection,
+  /// preprocessing and fusion. Returns true when the fused track is
+  /// long enough for extraction; `stage_mark` carries the hub-time at
+  /// the fuse boundary so callers can continue the stage clock chain.
+  /// Does NOT emit the trace Exit — callers do, on every path.
+  bool analyze_prepare(const StreamDemux& demux, std::uint64_t user_id,
+                       double t0, double t1, AnalysisScratch& scratch,
+                       UserAnalysis& out, double& stage_mark) const;
+
   MonitorConfig config_;
 
   // Null until bind_observability; `hub` is the is-bound sentinel.

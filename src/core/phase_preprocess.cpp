@@ -3,8 +3,21 @@
 #include <cmath>
 
 #include "common/units.hpp"
+#include "signal/simd/kernels.hpp"
 
 namespace tagbreathe::core {
+
+namespace {
+
+/// Eq. 3 scale factor λ/(4π), written exactly as the legacy push() did
+/// (λ = c/f first, then the 4π divide) so the staged batch reproduces
+/// the historical bit pattern.
+inline double eq3_scale(double frequency_hz) {
+  const double lambda = common::kSpeedOfLight / frequency_hz;
+  return lambda / (4.0 * common::kPi);
+}
+
+}  // namespace
 
 PhasePreprocessor::PhasePreprocessor(PreprocessConfig config)
     : config_(config) {}
@@ -35,8 +48,8 @@ double PhasePreprocessor::effective_gap_s() const noexcept {
                     : config_.fallback_gap_s;
 }
 
-bool PhasePreprocessor::push(const TagRead& read,
-                             signal::TimedSample& delta_out) {
+bool PhasePreprocessor::pair_gate(const TagRead& read, double& dt_out,
+                                  double& dphase_out) {
   ++stats_.reads_in;
 
   // Update the stream-rate tracker (all channels).
@@ -53,17 +66,27 @@ bool PhasePreprocessor::push(const TagRead& read,
   last_read_time_s_ = read.time_s;
   has_last_time_ = true;
 
-  auto [it, inserted] = last_by_channel_.try_emplace(
-      read.channel_index, LastReading{read.time_s, read.phase_rad});
-  if (inserted) {
+  // SoA channel lookup: grow to the channel index on first sight (the
+  // FCC hop plan tops out at 50 channels, so the arrays stay tiny and
+  // the growth is a one-time cost per instance).
+  const std::size_t ch = read.channel_index;
+  if (ch >= chan_epoch_.size()) {
+    chan_epoch_.resize(ch + 1, 0);
+    chan_time_.resize(ch + 1, 0.0);
+    chan_phase_.resize(ch + 1, 0.0);
+  }
+  const bool seen = chan_epoch_[ch] == epoch_;
+  const double prev_time = chan_time_[ch];
+  const double prev_phase = chan_phase_[ch];
+  chan_epoch_[ch] = epoch_;
+  chan_time_[ch] = read.time_s;
+  chan_phase_[ch] = read.phase_rad;
+  if (!seen) {
     ++stats_.first_in_channel;
     return false;
   }
 
-  const LastReading prev = it->second;
-  it->second = LastReading{read.time_s, read.phase_rad};
-
-  const double dt = read.time_s - prev.time_s;
+  const double dt = read.time_s - prev_time;
   if (dt <= 0.0) return false;
   const double gap_limit = effective_gap_s();
   if (gap_limit > 0.0 && dt > gap_limit) {
@@ -71,10 +94,23 @@ bool PhasePreprocessor::push(const TagRead& read,
     return false;
   }
 
-  // Eq. 3 with the principal-value wrap: Δd = λ/(4π) · Δθ.
-  const double lambda = common::kSpeedOfLight / read.frequency_hz;
-  const double dtheta = common::wrap_phase_pi(read.phase_rad - prev.phase_rad);
-  const double delta_d = lambda / (4.0 * common::kPi) * dtheta;
+  dt_out = dt;
+  dphase_out = read.phase_rad - prev_phase;
+  return true;
+}
+
+bool PhasePreprocessor::push(const TagRead& read,
+                             signal::TimedSample& delta_out) {
+  double dt = 0.0;
+  double dphase = 0.0;
+  if (!pair_gate(read, dt, dphase)) return false;
+
+  // Eq. 3 with the principal-value wrap: Δd = λ/(4π) · Δθ. Routed
+  // through the dispatched kernel (n = 1 lands on its scalar tail) so
+  // streaming and batch deltas share one arithmetic path.
+  const double scale = eq3_scale(read.frequency_hz);
+  double delta_d = 0.0;
+  signal::simd::kernels().phase_deltas(&dphase, &scale, &delta_d, 1);
 
   if (config_.max_speed_mps > 0.0 &&
       std::abs(delta_d) / dt > config_.max_speed_mps) {
@@ -93,19 +129,71 @@ bool PhasePreprocessor::push(const TagRead& read,
   return true;
 }
 
+void PhasePreprocessor::process_into(std::span<const TagRead> reads,
+                                     std::vector<signal::TimedSample>& out) {
+  out.clear();
+
+  // Pass 1 (serial, stateful): run the gate stage for every read and
+  // stage the surviving pairs into flat arrays. All per-read state
+  // evolution (EWMA, hysteresis, channel table) happens here, in read
+  // order, exactly as the streaming push() would.
+  stage_time_.clear();
+  stage_dt_.clear();
+  stage_dphase_.clear();
+  stage_scale_.clear();
+  for (const TagRead& r : reads) {
+    double dt = 0.0;
+    double dphase = 0.0;
+    if (!pair_gate(r, dt, dphase)) continue;
+    stage_time_.push_back(r.time_s);
+    stage_dt_.push_back(dt);
+    stage_dphase_.push_back(dphase);
+    stage_scale_.push_back(eq3_scale(r.frequency_hz));
+  }
+
+  // Pass 2 (vector): Eq. 3 wrap + scale across the whole stream in one
+  // dispatched kernel sweep.
+  const std::size_t n = stage_dphase_.size();
+  if (stage_delta_.size() < n) stage_delta_.resize(n);
+  signal::simd::kernels().phase_deltas(stage_dphase_.data(),
+                                       stage_scale_.data(),
+                                       stage_delta_.data(), n);
+
+  // Pass 3 (scalar): physical gates and emission, per pair.
+  if (out.capacity() < n) out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double delta_d = stage_delta_[i];
+    const double dt = stage_dt_[i];
+    if (config_.max_speed_mps > 0.0 &&
+        std::abs(delta_d) / dt > config_.max_speed_mps) {
+      ++stats_.dropped_outlier;
+      continue;
+    }
+    if (config_.spike_floor_m > 0.0 &&
+        std::abs(delta_d) >
+            config_.spike_floor_m + config_.spike_speed_mps * dt) {
+      ++stats_.dropped_spike;
+      continue;
+    }
+    out.push_back(signal::TimedSample{stage_time_[i], delta_d});
+    ++stats_.deltas_out;
+  }
+}
+
 std::vector<signal::TimedSample> PhasePreprocessor::process(
     std::span<const TagRead> reads) {
   std::vector<signal::TimedSample> out;
-  out.reserve(reads.size());
-  signal::TimedSample delta;
-  for (const TagRead& r : reads) {
-    if (push(r, delta)) out.push_back(delta);
-  }
+  process_into(reads, out);
   return out;
 }
 
 void PhasePreprocessor::reset() noexcept {
-  last_by_channel_.clear();
+  // O(1): channel entries die by epoch mismatch, buffers keep capacity.
+  ++epoch_;
+  if (epoch_ == 0) {  // wraparound: sweep once so stale stamps can't match
+    chan_epoch_.assign(chan_epoch_.size(), 0);
+    epoch_ = 1;
+  }
   stats_ = PreprocessStats{};
   ewma_dt_s_ = 0.0;
   dt_samples_ = 0;
@@ -113,6 +201,11 @@ void PhasePreprocessor::reset() noexcept {
   has_last_time_ = false;
   fast_mode_ = false;
   mode_init_ = false;
+}
+
+void PhasePreprocessor::reconfigure(const PreprocessConfig& config) noexcept {
+  config_ = config;
+  reset();
 }
 
 std::vector<signal::TimedSample> integrate_displacement(

@@ -17,10 +17,16 @@
 //     one delta doubles);
 //   - deltas implying a speed above `max_speed_mps` are rejected as
 //     outliers (multipath flicker produces occasional wild phases).
+//
+// Layout: per-channel state is structure-of-arrays (flat time/phase
+// arrays indexed by channel, epoch-stamped for O(1) reset), and the
+// batch path stages candidate pairs into flat arrays so the Eq. 3
+// wrap + scale runs through the dispatched SIMD kernel
+// (signal/simd/kernels.hpp). The streaming push() routes the same
+// kernel with n = 1, so batch and streaming deltas are bit-identical.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <span>
 #include <vector>
 
@@ -82,7 +88,10 @@ struct PreprocessStats {
 
 /// Streaming phase-to-displacement converter for ONE (user, tag, antenna)
 /// stream. Feed reads in time order; displacement deltas come out as
-/// timestamped samples.
+/// timestamped samples. An instance may be pooled: reconfigure() swaps
+/// the config and resets the state in O(1) while keeping every buffer's
+/// high-water capacity, so a per-worker instance reused across streams
+/// performs no steady-state allocation.
 class PhasePreprocessor {
  public:
   explicit PhasePreprocessor(PreprocessConfig config = {});
@@ -94,22 +103,48 @@ class PhasePreprocessor {
   /// Batch helper: displacement deltas for a whole stream.
   std::vector<signal::TimedSample> process(std::span<const TagRead> reads);
 
+  /// Batch path into a caller buffer (cleared first): stages candidate
+  /// pairs, runs the wrap+scale through the dispatched SIMD kernel, then
+  /// applies the speed/spike gates. Emits exactly the deltas the
+  /// streaming push() would — bit-identical values in the same order.
+  void process_into(std::span<const TagRead> reads,
+                    std::vector<signal::TimedSample>& out);
+
   const PreprocessStats& stats() const noexcept { return stats_; }
   void reset() noexcept;
+
+  /// reset() plus a config swap (for pooled per-worker instances).
+  void reconfigure(const PreprocessConfig& config) noexcept;
 
   /// Gap limit currently in force (diagnostic; depends on the observed
   /// stream rate when adaptive_gap is set).
   double effective_gap_s() const noexcept;
 
  private:
-  struct LastReading {
-    double time_s = 0.0;
-    double phase_rad = 0.0;
-  };
+  /// Shared gate stage of push()/process_into(): rate tracking, channel
+  /// state update, dt/gap gating. True => the read completes a candidate
+  /// pair; `dt_out`/`dphase_out` carry its time and raw phase deltas.
+  bool pair_gate(const TagRead& read, double& dt_out, double& dphase_out);
 
   PreprocessConfig config_;
-  std::map<std::uint16_t, LastReading> last_by_channel_;
   PreprocessStats stats_;
+
+  // Per-channel state, structure-of-arrays: flat arrays indexed by
+  // channel, grown lazily to the highest index seen. A channel's entry
+  // is live only when its epoch stamp matches epoch_ — reset is a bump
+  // of epoch_, never a sweep.
+  std::vector<double> chan_time_;
+  std::vector<double> chan_phase_;
+  std::vector<std::uint32_t> chan_epoch_;
+  std::uint32_t epoch_ = 1;
+
+  // Batch staging (high-water capacity, reused across process_into).
+  std::vector<double> stage_time_;
+  std::vector<double> stage_dt_;
+  std::vector<double> stage_dphase_;
+  std::vector<double> stage_scale_;
+  std::vector<double> stage_delta_;
+
   // EWMA of the inter-read interval (any channel) drives the adaptive
   // gap selection.
   double ewma_dt_s_ = 0.0;
@@ -121,6 +156,9 @@ class PhasePreprocessor {
 };
 
 /// Eq. 4: integrates deltas into a displacement track anchored at 0.
+/// Stays scalar by design: the running sum is a serial dependency chain
+/// (each output feeds the next), so there is nothing to vectorize
+/// without reassociating — which would break bitwise reproducibility.
 std::vector<signal::TimedSample> integrate_displacement(
     std::span<const signal::TimedSample> deltas);
 

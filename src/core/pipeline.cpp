@@ -7,6 +7,7 @@
 #include <string>
 
 #include "obs/observability.hpp"
+#include "signal/simd/dispatch.hpp"
 
 namespace tagbreathe::core {
 
@@ -81,6 +82,11 @@ void RealtimePipeline::bind_observability(obs::Observability& hub) {
       0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0};
   obs_.fanout = &m.histogram("pipeline_fanout_users", kFanoutBounds);
   obs_.trace_stage = hub.trace().register_stage("pipeline.update");
+  // DSP dispatch level the process resolved at startup (0 = scalar,
+  // 1 = AVX2, 2 = NEON): exported once — the level cannot change after
+  // the first kernel call.
+  m.gauge("dsp_simd_level")
+      .set(static_cast<double>(signal::simd::active_level_value()));
   // Seed the mirrored series so a mid-run bind exports current truth.
   obs_.analyses->set(analyses_run_);
   obs_.skipped->set(analyses_skipped_);
@@ -264,19 +270,29 @@ void RealtimePipeline::run_update(double time_s) {
   }
 
   // Phase 2 (parallel): the expensive Fig. 10 re-analysis, fanned out
-  // across the pool. Workers read the demux (const, nobody mutating)
-  // and write only their own result slot, so the fan-out is race-free;
-  // each slot carries its own scratch arena.
+  // across the pool in chunks of analysis_batch users. Each chunk runs
+  // as ONE BreathMonitor::analyze_users call so its extractions share a
+  // batched transform sweep. Workers read the demux (const, nobody
+  // mutating) and write only their own chunk's result slots, so the
+  // fan-out is race-free; each slot carries its own scratch arena.
   std::vector<UserAnalysis> results(n_users);
-  const auto analyse_one = [&](std::size_t j, std::size_t slot) {
-    const std::size_t i = to_analyse[j];
-    results[i] =
-        monitor_.analyze_user(demux_, users[i], t0, time_s, &scratch_[slot]);
+  const std::size_t batch = std::max<std::size_t>(config_.analysis_batch, 1);
+  const std::size_t n_chunks = (to_analyse.size() + batch - 1) / batch;
+  const auto analyse_chunk = [&](std::size_t c, std::size_t slot) {
+    const std::size_t begin = c * batch;
+    const std::size_t end = std::min(begin + batch, to_analyse.size());
+    std::vector<std::uint64_t> ids(end - begin);
+    std::vector<UserAnalysis> chunk(end - begin);
+    for (std::size_t k = 0; k < ids.size(); ++k)
+      ids[k] = users[to_analyse[begin + k]];
+    monitor_.analyze_users(demux_, ids, t0, time_s, &scratch_[slot], chunk);
+    for (std::size_t k = 0; k < ids.size(); ++k)
+      results[to_analyse[begin + k]] = std::move(chunk[k]);
   };
   if (pool_ != nullptr) {
-    pool_->run(to_analyse.size(), analyse_one);
+    pool_->run(n_chunks, analyse_chunk);
   } else {
-    for (std::size_t j = 0; j < to_analyse.size(); ++j) analyse_one(j, 0);
+    for (std::size_t c = 0; c < n_chunks; ++c) analyse_chunk(c, 0);
   }
   analyses_run_ += to_analyse.size();
 

@@ -55,6 +55,15 @@ struct PipelineConfig {
   /// across thread counts is unaffected. Default off: the legacy engine
   /// re-analyses every user every tick.
   bool skip_clean_users = false;
+  /// Users per batched BreathMonitor::analyze_users call in the update
+  /// tick fan-out. Every user in a chunk runs its transforms through one
+  /// extract_many sweep (shared FFT plan, one plan-cache hit per size)
+  /// on one warm per-slot scratch. Chunks — not individual users — are
+  /// the work items handed to the analysis pool. Results are
+  /// bit-identical for any batch size (batched and single analysis share
+  /// every arithmetic path), so the event stream does not depend on this
+  /// knob. 0 or 1 = one user per call (the legacy fan-out shape).
+  std::size_t analysis_batch = 16;
 
   /// Throws std::invalid_argument on nonsensical values (non-positive
   /// window or update period, negative warm-up, warm-up beyond the

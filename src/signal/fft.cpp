@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/units.hpp"
+#include "signal/simd/kernels.hpp"
 
 namespace tagbreathe::signal {
 
@@ -138,9 +139,10 @@ FftPlan::FftPlan(std::size_t n, FftDirection dir) : n_(n), dir_(dir) {
 }
 
 void FftPlan::run_pow2(std::span<cdouble> data) const {
-  // Hot loops index through a raw pointer: GCC compiles repeated
-  // span::operator[] here several times slower than pointer arithmetic
-  // (measured ~4x on the butterfly loop at -O2).
+  // The butterfly stages and the inverse scale run through the dispatched
+  // kernel table (simd/kernels.hpp): AVX2/NEON where available, scalar
+  // fallback otherwise, all bit-identical by contract.
+  const simd::DspKernels& kn = simd::kernels();
   const std::size_t n = n_;
   cdouble* const d = data.data();
   const std::uint32_t* const rev = rev_.data();
@@ -151,20 +153,11 @@ void FftPlan::run_pow2(std::span<cdouble> data) const {
   const cdouble* tw = twiddles_.data();
   for (std::size_t len = 2; len <= n; len <<= 1) {
     const std::size_t half = len / 2;
-    for (std::size_t i = 0; i < n; i += len) {
-      for (std::size_t k = 0; k < half; ++k) {
-        const cdouble u = d[i + k];
-        const cdouble v = d[i + k + half] * tw[k];
-        d[i + k] = u + v;
-        d[i + k + half] = u - v;
-      }
-    }
+    kn.butterfly_stage(d, n, half, tw);
     tw += half;
   }
-  if (dir_ == FftDirection::Inverse) {
-    const double scale = 1.0 / static_cast<double>(n);
-    for (std::size_t i = 0; i < n; ++i) d[i] *= scale;
-  }
+  if (dir_ == FftDirection::Inverse)
+    kn.complex_scale(d, n, 1.0 / static_cast<double>(n));
 }
 
 void FftPlan::execute(std::span<const cdouble> in, std::span<cdouble> out,
@@ -185,8 +178,10 @@ void FftPlan::execute(std::span<const cdouble> in, std::span<cdouble> out,
 
   // Bluestein via the precomputed kernel spectrum: only one forward and
   // one inverse inner transform per call (the legacy one-shot path paid
-  // for a second forward FFT of the kernel every time). Raw pointers in
-  // the element loops — see run_pow2.
+  // for a second forward FFT of the kernel every time). The pointwise
+  // chirp/kernel products and the final scale run through the dispatched
+  // kernel table.
+  const simd::DspKernels& kn = simd::kernels();
   std::vector<cdouble>& a = scratch.a;
   a.assign(m_, cdouble(0.0, 0.0));
   cdouble* const ap = a.data();
@@ -194,15 +189,13 @@ void FftPlan::execute(std::span<const cdouble> in, std::span<cdouble> out,
   cdouble* const op = out.data();
   const cdouble* const chirp = chirp_.data();
   const cdouble* const kernel = kernel_fft_.data();
-  for (std::size_t k = 0; k < n_; ++k) ap[k] = ip[k] * chirp[k];
+  kn.complex_mul(ap, ip, chirp, n_);
   fwd_m_->execute(a, scratch);  // pow2: scratch unused, in-place
-  for (std::size_t k = 0; k < m_; ++k) ap[k] *= kernel[k];
+  kn.complex_mul(ap, ap, kernel, m_);
   inv_m_->execute(a, scratch);  // includes the 1/m scale
-  for (std::size_t k = 0; k < n_; ++k) op[k] = ap[k] * chirp[k];
-  if (dir_ == FftDirection::Inverse) {
-    const double scale = 1.0 / static_cast<double>(n_);
-    for (std::size_t k = 0; k < n_; ++k) op[k] *= scale;
-  }
+  kn.complex_mul(op, ap, chirp, n_);
+  if (dir_ == FftDirection::Inverse)
+    kn.complex_scale(op, n_, 1.0 / static_cast<double>(n_));
 }
 
 std::shared_ptr<const FftPlan> FftPlan::get(std::size_t n, FftDirection dir) {
@@ -354,28 +347,74 @@ std::vector<cdouble> ifft(std::span<const cdouble> input) {
   return transform(input, FftDirection::Inverse);
 }
 
+void fft_many(FftDirection dir, std::span<const FftJob> jobs,
+              FftScratch& scratch) {
+  std::shared_ptr<const FftPlan> plan;
+  for (const FftJob& job : jobs) {
+    const std::size_t n = job.in.size();
+    if (n == 0) continue;
+    if (plan == nullptr || plan->size() != n) plan = FftPlan::get(n, dir);
+    plan->execute(job.in, job.out, scratch);
+  }
+}
+
+void fft_real_many(std::span<const RealFftJob> jobs, FftScratch& scratch) {
+  // Plans are re-fetched only when the size changes between consecutive
+  // jobs; the engine's batches are all one size, so the plan-cache mutex
+  // is taken once per sweep.
+  std::shared_ptr<const RealFftPlan> even_plan;
+  std::shared_ptr<const FftPlan> odd_plan;
+  for (const RealFftJob& job : jobs) {
+    const std::size_t n = job.in.size();
+    std::vector<cdouble>& out = *job.out;
+    out.resize(n);
+    if (n == 0) continue;
+    if (n == 1) {
+      out[0] = cdouble(job.in[0], 0.0);
+      continue;
+    }
+    if (n % 2 == 0) {
+      if (even_plan == nullptr || even_plan->size() != n)
+        even_plan = RealFftPlan::get(n);
+      even_plan->execute(job.in, out, scratch);
+      continue;
+    }
+    // Odd length: widen to complex and run the full plan. The widened
+    // input stages through scratch.b (the Bluestein path only uses
+    // scratch.a, so the buffers do not collide).
+    std::vector<cdouble>& wide = scratch.b;
+    wide.resize(n);
+    cdouble* const w = wide.data();
+    const double* const x = job.in.data();
+    for (std::size_t i = 0; i < n; ++i) w[i] = cdouble(x[i], 0.0);
+    if (odd_plan == nullptr || odd_plan->size() != n)
+      odd_plan = FftPlan::get(n, FftDirection::Forward);
+    odd_plan->execute(wide, out, scratch);
+  }
+}
+
+void ifft_real_many(std::span<const RealIfftJob> jobs, FftScratch& scratch) {
+  std::shared_ptr<const FftPlan> plan;
+  for (const RealIfftJob& job : jobs) {
+    const std::size_t n = job.spectrum.size();
+    std::vector<cdouble>& time = *job.time;
+    std::vector<double>& out = *job.out;
+    time.resize(n);
+    out.resize(n);
+    if (n == 0) continue;
+    if (plan == nullptr || plan->size() != n)
+      plan = FftPlan::get(n, FftDirection::Inverse);
+    plan->execute(job.spectrum, time, scratch);
+    const cdouble* const t = time.data();
+    double* const o = out.data();
+    for (std::size_t i = 0; i < n; ++i) o[i] = t[i].real();
+  }
+}
+
 void fft_real_into(std::span<const double> input, std::vector<cdouble>& out,
                    FftScratch& scratch) {
-  const std::size_t n = input.size();
-  out.resize(n);
-  if (n == 0) return;
-  if (n == 1) {
-    out[0] = cdouble(input[0], 0.0);
-    return;
-  }
-  if (n % 2 == 0) {
-    RealFftPlan::get(n)->execute(input, out, scratch);
-    return;
-  }
-  // Odd length: widen to complex and run the full plan. The widened
-  // input stages through scratch.b (the Bluestein path only uses
-  // scratch.a, so the buffers do not collide).
-  std::vector<cdouble>& wide = scratch.b;
-  wide.resize(n);
-  cdouble* const w = wide.data();
-  const double* const x = input.data();
-  for (std::size_t i = 0; i < n; ++i) w[i] = cdouble(x[i], 0.0);
-  FftPlan::get(n, FftDirection::Forward)->execute(wide, out, scratch);
+  const RealFftJob job{input, &out};
+  fft_real_many({&job, 1}, scratch);
 }
 
 std::vector<cdouble> fft_real(std::span<const double> input) {
@@ -388,14 +427,8 @@ std::vector<cdouble> fft_real(std::span<const double> input) {
 void ifft_real_into(std::span<const cdouble> spectrum,
                     std::vector<cdouble>& time, std::vector<double>& out,
                     FftScratch& scratch) {
-  const std::size_t n = spectrum.size();
-  time.resize(n);
-  out.resize(n);
-  if (n == 0) return;
-  FftPlan::get(n, FftDirection::Inverse)->execute(spectrum, time, scratch);
-  const cdouble* const t = time.data();
-  double* const o = out.data();
-  for (std::size_t i = 0; i < n; ++i) o[i] = t[i].real();
+  const RealIfftJob job{spectrum, &time, &out};
+  ifft_real_many({&job, 1}, scratch);
 }
 
 std::vector<double> ifft_real(std::span<const cdouble> spectrum) {

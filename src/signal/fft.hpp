@@ -51,8 +51,9 @@ enum class FftDirection : std::uint8_t { Forward = 0, Inverse = 1 };
 /// working-set size on first use and are reused afterwards, so repeated
 /// transforms of one size allocate nothing. One scratch per thread; a
 /// scratch may be shared across plans of different sizes (it keeps the
-/// high-water capacity).
-struct FftScratch {
+/// high-water capacity). Cache-line aligned so arrays of per-worker
+/// scratches (AnalysisPool slots) never share a line across workers.
+struct alignas(64) FftScratch {
   std::vector<cdouble> a;  // Bluestein convolution buffer (size m)
   std::vector<cdouble> b;  // staging: real packing / widening buffer
 };
@@ -163,6 +164,51 @@ std::vector<double> ifft_real(std::span<const cdouble> spectrum);
 void ifft_real_into(std::span<const cdouble> spectrum,
                     std::vector<cdouble>& time, std::vector<double>& out,
                     FftScratch& scratch);
+
+// ---------------------------------------------------------------------------
+// Batched transform sweeps
+//
+// The realtime engine's update tick runs the SAME-size transform for
+// every dirty user of a shard (the fusion grid fixes the track length
+// per tick). The *_many entry points run a whole batch through one
+// cached plan in a single sweep: the plan-cache mutex is taken once per
+// size change instead of once per user, and the plan's twiddle/chirp
+// tables stay hot in cache across the batch. Results are bit-identical
+// to issuing the single-job calls one at a time — the single-job
+// helpers above delegate here with a one-element batch, so there is
+// exactly one code path.
+
+/// One complex transform: out.size() == in.size(); out may alias in.
+struct FftJob {
+  std::span<const cdouble> in;
+  std::span<cdouble> out;
+};
+
+/// One real forward transform: `out` is resized to in.size().
+struct RealFftJob {
+  std::span<const double> in;
+  std::vector<cdouble>* out = nullptr;
+};
+
+/// One real inverse transform: `time` stages the complex inverse and
+/// `out` receives its real part (both resized to spectrum.size()).
+/// `time` may be shared between jobs of one batch (jobs run in order).
+struct RealIfftJob {
+  std::span<const cdouble> spectrum;
+  std::vector<cdouble>* time = nullptr;
+  std::vector<double>* out = nullptr;
+};
+
+/// Transforms every job with direction `dir`. Empty jobs pass through
+/// untouched; mixed sizes are legal (the plan is re-fetched on change).
+void fft_many(FftDirection dir, std::span<const FftJob> jobs,
+              FftScratch& scratch);
+
+/// Batched fft_real_into: forward-transforms every job's real signal.
+void fft_real_many(std::span<const RealFftJob> jobs, FftScratch& scratch);
+
+/// Batched ifft_real_into: inverse-transforms every job's spectrum.
+void ifft_real_many(std::span<const RealIfftJob> jobs, FftScratch& scratch);
 
 /// Magnitude of each bin.
 std::vector<double> magnitude(std::span<const cdouble> spectrum);

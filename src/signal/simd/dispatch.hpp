@@ -1,0 +1,63 @@
+// Runtime SIMD dispatch for the DSP hot path.
+//
+// The FFT butterflies, the Bluestein pointwise products and the phase
+// unwrap/scale loops run through a kernel table (simd/kernels.hpp)
+// selected ONCE per process: AVX2 where the build carries the AVX2
+// translation unit and cpuid reports support, NEON on AArch64 builds,
+// and a portable scalar fallback everywhere else. The selection is
+// observable (obs gauge `dsp_simd_level`, examples print it) and
+// overridable:
+//
+//   - environment: TAGBREATHE_FORCE_SCALAR=1 pins the scalar kernels —
+//     CI runs the whole suite this way on AVX2 runners so the fallback
+//     stays exercised;
+//   - tests: override_level_for_testing() swaps the live table (used by
+//     the vector-vs-scalar equivalence suite and the benchmarks'
+//     scalar-baseline fixtures).
+//
+// Every kernel pair is bit-identical by construction (same operations,
+// same order, no FMA contraction), so flipping the level never changes
+// a single output byte — the equivalence tests assert exact equality,
+// and the realtime event logs are byte-identical across levels.
+#pragma once
+
+#include <cstdint>
+
+namespace tagbreathe::signal::simd {
+
+enum class SimdLevel : std::uint8_t {
+  Scalar = 0,
+  Avx2 = 1,
+  Neon = 2,
+};
+
+/// Stable human-readable name ("scalar", "avx2", "neon").
+const char* simd_level_name(SimdLevel level) noexcept;
+
+/// Level the process would select from the environment + hardware probe
+/// alone (ignores any testing override). Cheap after the first call.
+SimdLevel detected_level() noexcept;
+
+/// Level currently driving the kernel table: detected_level() unless a
+/// testing override is in force. This is what the obs gauge exports.
+SimdLevel active_level() noexcept;
+
+/// Numeric value of active_level() for metric export.
+int active_level_value() noexcept;
+
+/// True when the given environment-variable value requests the scalar
+/// fallback: anything non-empty except "0", "false", "off" (exposed for
+/// tests; the probe applies it to TAGBREATHE_FORCE_SCALAR).
+bool env_requests_scalar(const char* value) noexcept;
+
+/// Test hook: pin the kernel table to `level`. Requesting a level the
+/// build/hardware cannot run (e.g. Avx2 on a non-AVX2 machine) falls
+/// back to Scalar and returns the level actually installed.
+SimdLevel override_level_for_testing(SimdLevel level) noexcept;
+
+/// Test hook: drop any override and re-run the probe on next use (the
+/// dispatch-init thread-safety hammer uses this to re-create the
+/// first-call race).
+void reset_dispatch_for_testing() noexcept;
+
+}  // namespace tagbreathe::signal::simd

@@ -1,0 +1,56 @@
+// Scalar reference kernels. These loops are the extracted bodies of the
+// original FftPlan::run_pow2 / FftPlan::execute / PhasePreprocessor hot
+// loops and define the bitwise contract the vector back ends must match.
+// The TU is built with -ffp-contract=off on every platform so the
+// reference semantics (no fused multiply-add) are pinned even where the
+// compiler would otherwise contract.
+#include <cstddef>
+
+#include "common/units.hpp"
+#include "signal/simd/kernels.hpp"
+
+namespace tagbreathe::signal::simd {
+
+namespace {
+
+void butterfly_stage_scalar(cdouble* d, std::size_t n, std::size_t half,
+                            const cdouble* tw) {
+  const std::size_t len = 2 * half;
+  for (std::size_t i = 0; i < n; i += len) {
+    for (std::size_t k = 0; k < half; ++k) {
+      const cdouble u = d[i + k];
+      const cdouble v = d[i + k + half] * tw[k];
+      d[i + k] = u + v;
+      d[i + k + half] = u - v;
+    }
+  }
+}
+
+void complex_mul_scalar(cdouble* dst, const cdouble* a, const cdouble* b,
+                        std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) dst[k] = a[k] * b[k];
+}
+
+void complex_scale_scalar(cdouble* d, std::size_t n, double s) {
+  for (std::size_t k = 0; k < n; ++k) d[k] *= s;
+}
+
+void phase_deltas_scalar(const double* dphase, const double* scale,
+                         double* out, std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k)
+    out[k] = scale[k] * common::wrap_phase_pi(dphase[k]);
+}
+
+}  // namespace
+
+const DspKernels& scalar_kernels() noexcept {
+  static constexpr DspKernels k{
+      &butterfly_stage_scalar,
+      &complex_mul_scalar,
+      &complex_scale_scalar,
+      &phase_deltas_scalar,
+  };
+  return k;
+}
+
+}  // namespace tagbreathe::signal::simd

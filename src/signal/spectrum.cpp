@@ -331,24 +331,52 @@ double peak_search(const std::vector<SpectrumBin>& bins, double f_lo,
 
 }  // namespace
 
+void fft_bandlimit_many(std::span<const BandLimitJob> jobs, FftWorkspace& ws) {
+  const std::size_t count = jobs.size();
+  if (count == 0) return;
+  for (const BandLimitJob& job : jobs) {
+    if (job.sample_rate_hz <= 0.0)
+      throw std::invalid_argument("fft filter: sample rate must be positive");
+  }
+
+  // High-water staging: nothing here ever shrinks, so a warm workspace
+  // runs any previously-seen batch shape without allocating.
+  if (ws.spectra.size() < count) ws.spectra.resize(count);
+  ws.fwd_jobs.clear();
+  ws.inv_jobs.clear();
+
+  // Forward sweep: all transforms of the batch through one cached plan.
+  for (std::size_t j = 0; j < count; ++j) {
+    if (jobs[j].x.empty()) {
+      jobs[j].out->clear();
+      continue;
+    }
+    ws.fwd_jobs.push_back(RealFftJob{jobs[j].x, &ws.spectra[j]});
+  }
+  fft_real_many(ws.fwd_jobs, ws.scratch);
+
+  // Per-job bin zeroing, then the inverse sweep.
+  for (std::size_t j = 0; j < count; ++j) {
+    const BandLimitJob& job = jobs[j];
+    if (job.x.empty()) continue;
+    std::vector<cdouble>& spectrum = ws.spectra[j];
+    const std::size_t n = spectrum.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      const double f = std::abs(bin_frequency(k, n, job.sample_rate_hz));
+      if (f < job.f_lo || f > job.f_hi) spectrum[k] = cdouble(0.0, 0.0);
+    }
+    ws.inv_jobs.push_back(RealIfftJob{spectrum, &ws.time, job.out});
+  }
+  ifft_real_many(ws.inv_jobs, ws.scratch);
+}
+
 namespace {
 
 void fft_bandlimit_into(std::span<const double> x, double sample_rate_hz,
                         double f_lo, double f_hi, FftWorkspace& ws,
                         std::vector<double>& out) {
-  if (sample_rate_hz <= 0.0)
-    throw std::invalid_argument("fft filter: sample rate must be positive");
-  if (x.empty()) {
-    out.clear();
-    return;
-  }
-  fft_real_into(x, ws.spectrum, ws.scratch);
-  const std::size_t n = ws.spectrum.size();
-  for (std::size_t k = 0; k < n; ++k) {
-    const double f = std::abs(bin_frequency(k, n, sample_rate_hz));
-    if (f < f_lo || f > f_hi) ws.spectrum[k] = cdouble(0.0, 0.0);
-  }
-  ifft_real_into(ws.spectrum, ws.time, out, ws.scratch);
+  const BandLimitJob job{x, sample_rate_hz, f_lo, f_hi, &out};
+  fft_bandlimit_many({&job, 1}, ws);
 }
 
 }  // namespace
@@ -358,7 +386,7 @@ void fft_lowpass_into(std::span<const double> x, double sample_rate_hz,
                       std::vector<double>& out) {
   if (cutoff_hz <= 0.0)
     throw std::invalid_argument("fft_lowpass: cutoff must be positive");
-  const double f_lo = remove_dc ? 1e-12 : 0.0;
+  const double f_lo = remove_dc ? kDcRejectHz : 0.0;
   fft_bandlimit_into(x, sample_rate_hz, f_lo, cutoff_hz, ws, out);
 }
 

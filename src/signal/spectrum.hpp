@@ -14,12 +14,25 @@ namespace tagbreathe::signal {
 /// Reusable buffers for the plan-based spectral filters. One workspace
 /// per thread; after the first call of a given size, repeated filtering
 /// through the same workspace performs no heap allocation (the analysis
-/// engine keeps one per worker).
+/// engine keeps one per worker). Buffers never shrink (high-water
+/// sizing), so a steady-state batch of any previously seen shape stays
+/// allocation-free.
 struct FftWorkspace {
   FftScratch scratch;
-  std::vector<cdouble> spectrum;  // forward-transform bins
+  std::vector<cdouble> spectrum;  // forward-transform bins (single calls)
   std::vector<cdouble> time;      // inverse-transform staging
+  /// Per-job bins for batched filters (fft_bandlimit_many): the whole
+  /// batch's forward transforms must be live at once between the
+  /// forward and inverse sweeps.
+  std::vector<std::vector<cdouble>> spectra;
+  std::vector<RealFftJob> fwd_jobs;   // batched-sweep staging
+  std::vector<RealIfftJob> inv_jobs;  // batched-sweep staging
 };
+
+/// The f_lo used to knock out the DC bin when a low-pass asks for
+/// remove_dc: any positive value below the first bin's frequency works;
+/// shared so single and batched paths agree exactly.
+inline constexpr double kDcRejectHz = 1e-12;
 
 /// One-sided power spectrum sample: frequency [Hz] and power.
 struct SpectrumBin {
@@ -131,6 +144,23 @@ void fft_lowpass_into(std::span<const double> x, double sample_rate_hz,
 void fft_bandpass_into(std::span<const double> x, double sample_rate_hz,
                        double f_lo, double f_hi, FftWorkspace& ws,
                        std::vector<double>& out);
+
+/// One signal of a batched band-limit sweep: keep bins with
+/// f_lo <= |f| <= f_hi, zero the rest. `out` is resized to x.size().
+struct BandLimitJob {
+  std::span<const double> x;
+  double sample_rate_hz = 0.0;
+  double f_lo = 0.0;
+  double f_hi = 0.0;
+  std::vector<double>* out = nullptr;
+};
+
+/// Batched band-limit filter: one forward sweep over every job (shared
+/// plan, fetched once per size change), per-job bin zeroing, one inverse
+/// sweep. Bit-identical to running fft_lowpass_into / fft_bandpass_into
+/// per job — the single-job helpers delegate here — and allocation-free
+/// once `ws` has seen the batch shape.
+void fft_bandlimit_many(std::span<const BandLimitJob> jobs, FftWorkspace& ws);
 
 /// Goertzel algorithm: power of the single DFT bin nearest `freq_hz`.
 /// O(N) per frequency — cheaper than a full FFT when the pipeline only

@@ -30,6 +30,7 @@
 #include "fleet/fleet_soak.hpp"
 #include "obs/export.hpp"
 #include "obs/observability.hpp"
+#include "signal/simd/dispatch.hpp"
 
 namespace tagbreathe {
 namespace {
@@ -641,9 +642,21 @@ TEST(GoldenSnapshot, SoakInstrumentsMirrorReportCounters) {
   EXPECT_NE(text.find("analysis_stage_seconds_bucket{stage=\"fuse\""),
             std::string::npos);
   EXPECT_NE(text.find("pipeline_update_seconds_count"), std::string::npos);
+  // The DSP dispatch level rides along in both exports and mirrors the
+  // level the process actually resolved.
+  EXPECT_NE(text.find("dsp_simd_level"), std::string::npos);
   const std::string json = obs::to_json(snap);
   EXPECT_NE(json.find("\"stage\": \"pipeline.update\""), std::string::npos);
   EXPECT_NE(json.find("\"stage\": \"monitor.analyze\""), std::string::npos);
+  EXPECT_NE(json.find("dsp_simd_level"), std::string::npos);
+  bool gauge_found = false;
+  for (const obs::GaugeSample& g : snap.metrics.gauges) {
+    if (g.name != "dsp_simd_level") continue;
+    gauge_found = true;
+    EXPECT_EQ(g.value,
+              static_cast<double>(signal::simd::active_level_value()));
+  }
+  EXPECT_TRUE(gauge_found);
 }
 
 // The DurableMonitor bind adds the journal/snapshot counters on top of

@@ -1,0 +1,619 @@
+// SIMD DSP back-end tests: runtime dispatch (probe, env override, test
+// override, first-call race under TSan), bit-exact vector-vs-scalar
+// kernel equivalence (butterflies, Bluestein pointwise products, Eq. 3
+// phase deltas with out-of-range lanes), batch-vs-single identity of
+// the fft_many / fft_bandlimit_many / extract_many sweeps, the
+// zero-allocation gate on the warm batched steady state (counting
+// operator-new hook), cache-line alignment of the per-slot scratch
+// arenas, and the batched-vs-unbatched / scalar-vs-vector pipeline
+// event-log byte-identity gates.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/breath_extractor.hpp"
+#include "core/chaos.hpp"
+#include "core/monitor.hpp"
+#include "core/pipeline.hpp"
+#include "obs/observability.hpp"
+#include "signal/fft.hpp"
+#include "signal/simd/dispatch.hpp"
+#include "signal/simd/kernels.hpp"
+#include "signal/spectrum.hpp"
+
+// --- counting operator-new hook ---------------------------------------------
+// Replaces the global allocation functions for this binary so the
+// batched steady-state zero-allocation claim is asserted, not assumed.
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}
+
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size > 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size > 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace tagbreathe {
+namespace {
+
+using signal::cdouble;
+using signal::FftDirection;
+using signal::FftPlan;
+using signal::FftScratch;
+using signal::simd::DspKernels;
+using signal::simd::SimdLevel;
+
+/// The vector table the hardware can actually run, or null on a
+/// scalar-only build/machine (those configurations exercise the scalar
+/// path everywhere and the equivalence tests skip).
+const DspKernels* vector_table() {
+#if defined(TAGBREATHE_HAVE_AVX2_TU)
+  if (signal::simd::detected_level() == SimdLevel::Avx2)
+    return &signal::simd::avx2_kernels();
+#endif
+#if defined(TAGBREATHE_HAVE_NEON_TU)
+  if (signal::simd::detected_level() == SimdLevel::Neon)
+    return &signal::simd::neon_kernels();
+#endif
+  return nullptr;
+}
+
+/// Restores the probed dispatch when a test that overrides it exits.
+struct DispatchRestore {
+  ~DispatchRestore() { signal::simd::reset_dispatch_for_testing(); }
+};
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+bool bits_equal(const cdouble& a, const cdouble& b) {
+  return bits_equal(a.real(), b.real()) && bits_equal(a.imag(), b.imag());
+}
+
+template <typename T>
+::testing::AssertionResult spans_bit_equal(const std::vector<T>& a,
+                                           const std::vector<T>& b) {
+  if (a.size() != b.size())
+    return ::testing::AssertionFailure()
+           << "size " << a.size() << " vs " << b.size();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!bits_equal(a[i], b[i]))
+      return ::testing::AssertionFailure() << "bit mismatch at index " << i;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+std::vector<cdouble> random_complex(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-3.0, 3.0);
+  std::vector<cdouble> out(n);
+  for (auto& v : out) v = cdouble(dist(rng), dist(rng));
+  return out;
+}
+
+std::vector<double> random_real(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  std::vector<double> out(n);
+  for (auto& v : out) v = dist(rng);
+  return out;
+}
+
+// --- dispatch contract ------------------------------------------------------
+
+TEST(SimdDispatch, EnvParserContract) {
+  using signal::simd::env_requests_scalar;
+  EXPECT_FALSE(env_requests_scalar(nullptr));
+  EXPECT_FALSE(env_requests_scalar(""));
+  EXPECT_FALSE(env_requests_scalar("0"));
+  EXPECT_FALSE(env_requests_scalar("false"));
+  EXPECT_FALSE(env_requests_scalar("off"));
+  EXPECT_TRUE(env_requests_scalar("1"));
+  EXPECT_TRUE(env_requests_scalar("true"));
+  EXPECT_TRUE(env_requests_scalar("yes"));
+  EXPECT_TRUE(env_requests_scalar("2"));
+}
+
+TEST(SimdDispatch, ActiveLevelMatchesProbeByDefault) {
+  DispatchRestore restore;
+  signal::simd::reset_dispatch_for_testing();
+  EXPECT_EQ(signal::simd::active_level(), signal::simd::detected_level());
+  EXPECT_EQ(signal::simd::active_level_value(),
+            static_cast<int>(signal::simd::detected_level()));
+  // The level names are stable strings (exported / printed).
+  EXPECT_STREQ(signal::simd::simd_level_name(SimdLevel::Scalar), "scalar");
+  EXPECT_STREQ(signal::simd::simd_level_name(SimdLevel::Avx2), "avx2");
+  EXPECT_STREQ(signal::simd::simd_level_name(SimdLevel::Neon), "neon");
+}
+
+TEST(SimdDispatch, OverrideInstallsRequestedLevelOrScalarFallback) {
+  DispatchRestore restore;
+  // Scalar is always available.
+  EXPECT_EQ(signal::simd::override_level_for_testing(SimdLevel::Scalar),
+            SimdLevel::Scalar);
+  EXPECT_EQ(signal::simd::active_level(), SimdLevel::Scalar);
+  EXPECT_EQ(&signal::simd::kernels(), &signal::simd::scalar_kernels());
+  // detected_level() keeps reporting the probe truth under an override.
+  const SimdLevel probed = signal::simd::detected_level();
+  EXPECT_EQ(signal::simd::detected_level(), probed);
+  // Requesting the probed vector level installs it; requesting a level
+  // this machine cannot run falls back to scalar.
+  const SimdLevel got = signal::simd::override_level_for_testing(probed);
+  EXPECT_EQ(got, probed);
+  const SimdLevel impossible =
+      probed == SimdLevel::Neon ? SimdLevel::Avx2 : SimdLevel::Neon;
+  if (impossible != signal::simd::detected_level()) {
+    EXPECT_EQ(signal::simd::override_level_for_testing(impossible),
+              SimdLevel::Scalar);
+  }
+}
+
+// Run under TSan via the `concurrency` label: many threads race the
+// one-time dispatch resolution; every thread must observe the same
+// fully-initialized table.
+TEST(SimdDispatch, FirstCallRaceResolvesOneConsistentTable) {
+  DispatchRestore restore;
+  constexpr int kRounds = 50;
+  constexpr int kThreads = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    signal::simd::reset_dispatch_for_testing();
+    std::vector<const DspKernels*> seen(kThreads, nullptr);
+    std::vector<SimdLevel> levels(kThreads, SimdLevel::Scalar);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t, &seen, &levels] {
+        seen[static_cast<std::size_t>(t)] = &signal::simd::kernels();
+        levels[static_cast<std::size_t>(t)] = signal::simd::active_level();
+      });
+    }
+    for (auto& th : threads) th.join();
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0]);
+      EXPECT_EQ(levels[static_cast<std::size_t>(t)], levels[0]);
+    }
+    EXPECT_EQ(levels[0], signal::simd::detected_level());
+  }
+}
+
+// --- kernel-level vector-vs-scalar bit equivalence --------------------------
+
+TEST(VectorKernels, PhaseDeltasBitIdenticalToScalar) {
+  const DspKernels* vec = vector_table();
+  if (vec == nullptr) GTEST_SKIP() << "no vector unit on this build/machine";
+  const DspKernels& ref = signal::simd::scalar_kernels();
+
+  std::mt19937_64 rng(0xD51);
+  std::uniform_real_distribution<double> in_range(-2.0 * common::kTwoPi,
+                                                  2.0 * common::kTwoPi);
+  std::uniform_real_distribution<double> scale_dist(1e-3, 0.5);
+  // Lengths cover the 4-lane (AVX2) and 2-lane (NEON) groups plus every
+  // tail shape.
+  for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                        std::size_t{4}, std::size_t{5}, std::size_t{7},
+                        std::size_t{8}, std::size_t{15}, std::size_t{64},
+                        std::size_t{67}, std::size_t{1024}}) {
+    std::vector<double> dphase(n), scale(n), got(n, -1.0), want(n, -2.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      dphase[i] = in_range(rng);
+      scale[i] = scale_dist(rng);
+    }
+    // Salt in hostile lanes: exact boundaries, signed zeros, huge
+    // magnitudes that force the scalar-fallback wrap, and non-finites.
+    if (n >= 8) {
+      dphase[0] = common::kPi;
+      dphase[1] = -common::kPi;
+      dphase[2] = common::kTwoPi;
+      dphase[3] = -common::kTwoPi;
+      dphase[4] = 0.0;
+      dphase[5] = -0.0;
+      dphase[6] = 1e9;
+      dphase[7] = -1e9;
+    }
+    if (n >= 15) {
+      dphase[8] = std::numeric_limits<double>::infinity();
+      dphase[9] = -std::numeric_limits<double>::infinity();
+      dphase[10] = std::numeric_limits<double>::quiet_NaN();
+      dphase[11] = std::nextafter(common::kTwoPi, 0.0);
+      dphase[12] = std::nextafter(-common::kTwoPi, 0.0);
+      dphase[13] = 2.0 * common::kTwoPi;  // just past the vector window
+      dphase[14] = std::nextafter(2.0 * common::kTwoPi, 0.0);
+    }
+    ref.phase_deltas(dphase.data(), scale.data(), want.data(), n);
+    vec->phase_deltas(dphase.data(), scale.data(), got.data(), n);
+    EXPECT_TRUE(spans_bit_equal(got, want)) << "n=" << n;
+  }
+}
+
+TEST(VectorKernels, ButterflyMulScaleBitIdenticalToScalar) {
+  const DspKernels* vec = vector_table();
+  if (vec == nullptr) GTEST_SKIP() << "no vector unit on this build/machine";
+  const DspKernels& ref = signal::simd::scalar_kernels();
+
+  // Butterfly stages across every half that appears in a 32-point plan.
+  for (std::size_t half : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                           std::size_t{8}, std::size_t{16}}) {
+    const std::size_t n = 32;
+    const std::vector<cdouble> tw = random_complex(half, 0xB0 + half);
+    std::vector<cdouble> want = random_complex(n, 0xF00 + half);
+    std::vector<cdouble> got = want;
+    ref.butterfly_stage(want.data(), n, half, tw.data());
+    vec->butterfly_stage(got.data(), n, half, tw.data());
+    EXPECT_TRUE(spans_bit_equal(got, want)) << "half=" << half;
+  }
+
+  // Pointwise products, aliased (dst == a) and not, odd tail lengths.
+  for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                        std::size_t{5}, std::size_t{8}, std::size_t{129}}) {
+    const std::vector<cdouble> a = random_complex(n, 0xA0 + n);
+    const std::vector<cdouble> b = random_complex(n, 0xB0 + n);
+    std::vector<cdouble> want(n), got(n);
+    ref.complex_mul(want.data(), a.data(), b.data(), n);
+    vec->complex_mul(got.data(), a.data(), b.data(), n);
+    EXPECT_TRUE(spans_bit_equal(got, want)) << "mul n=" << n;
+
+    std::vector<cdouble> want_alias = a;
+    std::vector<cdouble> got_alias = a;
+    ref.complex_mul(want_alias.data(), want_alias.data(), b.data(), n);
+    vec->complex_mul(got_alias.data(), got_alias.data(), b.data(), n);
+    EXPECT_TRUE(spans_bit_equal(got_alias, want_alias)) << "alias n=" << n;
+
+    std::vector<cdouble> want_s = b;
+    std::vector<cdouble> got_s = b;
+    ref.complex_scale(want_s.data(), n, 1.0 / 3.0);
+    vec->complex_scale(got_s.data(), n, 1.0 / 3.0);
+    EXPECT_TRUE(spans_bit_equal(got_s, want_s)) << "scale n=" << n;
+  }
+}
+
+// --- transform-level equivalence -------------------------------------------
+
+// Whole transforms, forward and inverse, must be byte-identical between
+// the scalar and vector kernel tables: pow2 (pure butterfly path) and
+// Bluestein sizes (butterflies + pointwise chirp products), including
+// the realtime engine's actual sizes (600-sample fused tracks).
+TEST(FftEquivalence, VectorVsScalarBitIdenticalAcrossSizes) {
+  if (vector_table() == nullptr)
+    GTEST_SKIP() << "no vector unit on this build/machine";
+  DispatchRestore restore;
+
+  const std::vector<std::size_t> sizes = {2,  4,  8,   16,  64,  256, 4096,
+                                          3,  5,  31,  600, 601, 1000};
+  FftScratch scratch;
+  for (const std::size_t n : sizes) {
+    const std::vector<cdouble> input = random_complex(n, 0x5EED + n);
+    for (const FftDirection dir :
+         {FftDirection::Forward, FftDirection::Inverse}) {
+      const auto plan = FftPlan::get(n, dir);
+      std::vector<cdouble> scalar_out(n), vector_out(n);
+      signal::simd::override_level_for_testing(SimdLevel::Scalar);
+      plan->execute(input, scalar_out, scratch);
+      signal::simd::override_level_for_testing(
+          signal::simd::detected_level());
+      plan->execute(input, vector_out, scratch);
+      EXPECT_TRUE(spans_bit_equal(vector_out, scalar_out))
+          << "n=" << n << " dir=" << static_cast<int>(dir);
+    }
+  }
+}
+
+TEST(FftEquivalence, RealTransformsBitIdenticalAcrossLevels) {
+  if (vector_table() == nullptr)
+    GTEST_SKIP() << "no vector unit on this build/machine";
+  DispatchRestore restore;
+
+  FftScratch scratch;
+  for (const std::size_t n :
+       {std::size_t{64}, std::size_t{600}, std::size_t{601}}) {
+    const std::vector<double> input = random_real(n, 0xFACE + n);
+    std::vector<cdouble> scalar_spec, vector_spec;
+    signal::simd::override_level_for_testing(SimdLevel::Scalar);
+    signal::fft_real_into(input, scalar_spec, scratch);
+    signal::simd::override_level_for_testing(signal::simd::detected_level());
+    signal::fft_real_into(input, vector_spec, scratch);
+    EXPECT_TRUE(spans_bit_equal(vector_spec, scalar_spec)) << "n=" << n;
+
+    std::vector<cdouble> time;
+    std::vector<double> scalar_time, vector_time;
+    signal::simd::override_level_for_testing(SimdLevel::Scalar);
+    signal::ifft_real_into(scalar_spec, time, scalar_time, scratch);
+    signal::simd::override_level_for_testing(signal::simd::detected_level());
+    signal::ifft_real_into(scalar_spec, time, vector_time, scratch);
+    EXPECT_TRUE(spans_bit_equal(vector_time, scalar_time)) << "n=" << n;
+  }
+}
+
+// --- batch vs single identity ----------------------------------------------
+
+TEST(BatchedTransforms, FftManyMatchesPerJobExecutes) {
+  FftScratch scratch;
+  // Mixed sizes in one batch (forces plan re-fetch mid-sweep), plus an
+  // empty job that must pass through untouched.
+  const std::vector<std::size_t> sizes = {600, 600, 64, 601, 0, 600};
+  std::vector<std::vector<cdouble>> inputs, batch_out, single_out;
+  for (std::size_t j = 0; j < sizes.size(); ++j) {
+    inputs.push_back(random_complex(sizes[j], 0xC0FE + j));
+    batch_out.emplace_back(sizes[j]);
+    single_out.emplace_back(sizes[j]);
+  }
+  std::vector<signal::FftJob> jobs;
+  for (std::size_t j = 0; j < sizes.size(); ++j)
+    jobs.push_back(signal::FftJob{inputs[j], batch_out[j]});
+  signal::fft_many(FftDirection::Forward, jobs, scratch);
+  for (std::size_t j = 0; j < sizes.size(); ++j) {
+    if (sizes[j] == 0) continue;
+    FftPlan::get(sizes[j], FftDirection::Forward)
+        ->execute(inputs[j], single_out[j], scratch);
+  }
+  for (std::size_t j = 0; j < sizes.size(); ++j)
+    EXPECT_TRUE(spans_bit_equal(batch_out[j], single_out[j])) << "job " << j;
+}
+
+TEST(BatchedTransforms, RealManyMatchesSingleCalls) {
+  FftScratch scratch;
+  const std::vector<std::size_t> sizes = {600, 1, 600, 601, 0, 64};
+  std::vector<std::vector<double>> inputs;
+  std::vector<std::vector<cdouble>> batch_spec(sizes.size()),
+      single_spec(sizes.size());
+  for (std::size_t j = 0; j < sizes.size(); ++j)
+    inputs.push_back(random_real(sizes[j], 0xABBA + j));
+
+  std::vector<signal::RealFftJob> jobs;
+  for (std::size_t j = 0; j < sizes.size(); ++j)
+    jobs.push_back(signal::RealFftJob{inputs[j], &batch_spec[j]});
+  signal::fft_real_many(jobs, scratch);
+  for (std::size_t j = 0; j < sizes.size(); ++j)
+    signal::fft_real_into(inputs[j], single_spec[j], scratch);
+  for (std::size_t j = 0; j < sizes.size(); ++j)
+    EXPECT_TRUE(spans_bit_equal(batch_spec[j], single_spec[j]))
+        << "fwd job " << j;
+
+  // Inverse sweep: the batch shares one staging buffer, singles each
+  // use their own — outputs must still match bit for bit.
+  std::vector<cdouble> shared_time;
+  std::vector<std::vector<double>> batch_time(sizes.size()),
+      single_time(sizes.size());
+  std::vector<signal::RealIfftJob> inv_jobs;
+  for (std::size_t j = 0; j < sizes.size(); ++j)
+    inv_jobs.push_back(
+        signal::RealIfftJob{single_spec[j], &shared_time, &batch_time[j]});
+  signal::ifft_real_many(inv_jobs, scratch);
+  for (std::size_t j = 0; j < sizes.size(); ++j) {
+    std::vector<cdouble> own_time;
+    signal::ifft_real_into(single_spec[j], own_time, single_time[j], scratch);
+    EXPECT_TRUE(spans_bit_equal(batch_time[j], single_time[j]))
+        << "inv job " << j;
+  }
+}
+
+TEST(BatchedTransforms, BandlimitManyMatchesSingleFilters) {
+  signal::FftWorkspace batch_ws, single_ws;
+  constexpr double kRate = 20.0;
+  const std::vector<std::size_t> sizes = {600, 600, 480, 600};
+  std::vector<std::vector<double>> inputs;
+  std::vector<std::vector<double>> batch_out(sizes.size()),
+      single_out(sizes.size());
+  for (std::size_t j = 0; j < sizes.size(); ++j)
+    inputs.push_back(random_real(sizes[j], 0xBEA7 + j));
+
+  std::vector<signal::BandLimitJob> jobs;
+  for (std::size_t j = 0; j < sizes.size(); ++j) {
+    // Alternate band-pass and DC-rejecting low-pass shapes.
+    const double f_lo = (j % 2 == 0) ? 0.05 : signal::kDcRejectHz;
+    jobs.push_back(
+        signal::BandLimitJob{inputs[j], kRate, f_lo, 0.67, &batch_out[j]});
+  }
+  signal::fft_bandlimit_many(jobs, batch_ws);
+  for (std::size_t j = 0; j < sizes.size(); ++j) {
+    if (j % 2 == 0) {
+      signal::fft_bandpass_into(inputs[j], kRate, 0.05, 0.67, single_ws,
+                                single_out[j]);
+    } else {
+      signal::fft_lowpass_into(inputs[j], kRate, 0.67, /*remove_dc=*/true,
+                               single_ws, single_out[j]);
+    }
+    EXPECT_TRUE(spans_bit_equal(batch_out[j], single_out[j])) << "job " << j;
+  }
+}
+
+std::vector<signal::TimedSample> breathing_track(std::size_t n, double rate_hz,
+                                                 double breath_hz,
+                                                 std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> noise(0.0, 0.0004);
+  std::vector<signal::TimedSample> track(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / rate_hz;
+    track[i] = signal::TimedSample{
+        t, 0.005 * std::sin(common::kTwoPi * breath_hz * t) + 0.0002 * t +
+               noise(rng)};
+  }
+  return track;
+}
+
+TEST(BatchedExtraction, ExtractManyMatchesSingleExtractBitwise) {
+  const core::BreathExtractor extractor;
+  constexpr double kRate = 20.0;
+  std::vector<std::vector<signal::TimedSample>> tracks;
+  for (std::size_t j = 0; j < 8; ++j)
+    tracks.push_back(
+        breathing_track(600, kRate, 0.15 + 0.03 * static_cast<double>(j),
+                        0x1234 + j));
+  tracks.push_back({});                                   // too short: empty
+  tracks.push_back(breathing_track(3, kRate, 0.2, 0x77)); // still too short
+
+  std::vector<core::BreathSignal> batch(tracks.size());
+  std::vector<core::ExtractJob> jobs;
+  for (std::size_t j = 0; j < tracks.size(); ++j)
+    jobs.push_back(core::ExtractJob{tracks[j], kRate, &batch[j]});
+  signal::FftWorkspace ws;
+  core::ExtractScratch scratch;
+  extractor.extract_many(jobs, ws, scratch);
+
+  for (std::size_t j = 0; j < tracks.size(); ++j) {
+    const core::BreathSignal single = extractor.extract(tracks[j], kRate);
+    ASSERT_EQ(batch[j].samples.size(), single.samples.size()) << "job " << j;
+    EXPECT_TRUE(bits_equal(batch[j].sample_rate_hz, single.sample_rate_hz));
+    for (std::size_t i = 0; i < single.samples.size(); ++i) {
+      ASSERT_TRUE(bits_equal(batch[j].samples[i].value,
+                             single.samples[i].value))
+          << "job " << j << " sample " << i;
+      ASSERT_TRUE(bits_equal(batch[j].samples[i].time_s,
+                             single.samples[i].time_s))
+          << "job " << j << " sample " << i;
+    }
+  }
+}
+
+// --- zero-allocation gate on the batched steady state -----------------------
+
+TEST(BatchedZeroAlloc, WarmBandlimitSweepAllocatesNothing) {
+  signal::FftWorkspace ws;
+  constexpr double kRate = 20.0;
+  constexpr std::size_t kJobs = 16;
+  std::vector<std::vector<double>> inputs;
+  std::vector<std::vector<double>> outs(kJobs);
+  for (std::size_t j = 0; j < kJobs; ++j)
+    inputs.push_back(random_real(600, 0xAA + j));
+  std::vector<signal::BandLimitJob> jobs;
+  for (std::size_t j = 0; j < kJobs; ++j)
+    jobs.push_back(
+        signal::BandLimitJob{inputs[j], kRate, 0.05, 0.67, &outs[j]});
+
+  signal::fft_bandlimit_many(jobs, ws);  // warm-up: plans, staging, outs
+  const std::uint64_t before = g_allocations.load();
+  for (int round = 0; round < 20; ++round) signal::fft_bandlimit_many(jobs, ws);
+  EXPECT_EQ(g_allocations.load() - before, 0u);
+}
+
+TEST(BatchedZeroAlloc, WarmExtractManySweepAllocatesNothing) {
+  // adaptive_band off: the ACF peak search allocates by design (it is
+  // not on the batched-transform contract); the filter sweep itself must
+  // run clean.
+  core::ExtractorConfig config;
+  config.adaptive_band = false;
+  const core::BreathExtractor extractor(config);
+  constexpr double kRate = 20.0;
+  constexpr std::size_t kJobs = 12;
+  std::vector<std::vector<signal::TimedSample>> tracks;
+  for (std::size_t j = 0; j < kJobs; ++j)
+    tracks.push_back(breathing_track(600, kRate, 0.2, 0x99 + j));
+  std::vector<core::BreathSignal> outs(kJobs);
+  std::vector<core::ExtractJob> jobs;
+  for (std::size_t j = 0; j < kJobs; ++j)
+    jobs.push_back(core::ExtractJob{tracks[j], kRate, &outs[j]});
+  signal::FftWorkspace ws;
+  core::ExtractScratch scratch;
+
+  extractor.extract_many(jobs, ws, scratch);  // warm-up
+  const std::uint64_t before = g_allocations.load();
+  for (int round = 0; round < 20; ++round)
+    extractor.extract_many(jobs, ws, scratch);
+  EXPECT_EQ(g_allocations.load() - before, 0u);
+}
+
+// --- scratch alignment ------------------------------------------------------
+
+TEST(ScratchAlignment, PerSlotArenasAreCacheLineAligned) {
+  static_assert(alignof(FftScratch) == 64);
+  static_assert(alignof(core::AnalysisScratch) == 64);
+  static_assert(sizeof(core::AnalysisScratch) % 64 == 0);
+
+  std::vector<FftScratch> fft_slots(4);
+  for (const FftScratch& s : fft_slots)
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(&s) % 64, 0u);
+  std::vector<core::AnalysisScratch> slots(4);
+  for (const core::AnalysisScratch& s : slots)
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(&s) % 64, 0u);
+}
+
+// --- dispatch gauge ---------------------------------------------------------
+
+TEST(DispatchGauge, PipelineBindExportsActiveLevel) {
+  obs::Observability hub(256);
+  core::RealtimePipeline pipeline;
+  pipeline.bind_observability(hub);
+  const obs::MetricsSnapshot snap = hub.metrics().snapshot();
+  bool found = false;
+  for (const obs::GaugeSample& g : snap.gauges) {
+    if (g.name != "dsp_simd_level") continue;
+    found = true;
+    EXPECT_EQ(g.value,
+              static_cast<double>(signal::simd::active_level_value()));
+  }
+  EXPECT_TRUE(found) << "dsp_simd_level gauge missing from snapshot";
+}
+
+// --- pipeline event-log identity gates --------------------------------------
+
+core::SoakConfig dsp_soak(std::uint64_t seed, std::size_t analysis_batch) {
+  core::SoakConfig cfg;
+  cfg.n_users = 4;
+  cfg.tags_per_user = 2;
+  cfg.duration_s = 120.0;
+  cfg.chaos = core::ChaosConfig::composite(seed);
+  cfg.pipeline.analysis_batch = analysis_batch;
+  return cfg;
+}
+
+// The analysis_batch knob must never change a single output byte: the
+// batched extract_many sweep and the per-user path share every
+// arithmetic code path.
+TEST(PipelineIdentity, EventLogByteIdenticalAcrossBatchSizes) {
+  const auto unbatched = core::run_soak(dsp_soak(0xD5B, 1));
+  const auto small_batch = core::run_soak(dsp_soak(0xD5B, 3));
+  const auto big_batch = core::run_soak(dsp_soak(0xD5B, 64));
+  EXPECT_TRUE(unbatched.ok()) << unbatched.violations.front();
+  EXPECT_TRUE(small_batch.ok()) << small_batch.violations.front();
+  EXPECT_TRUE(big_batch.ok()) << big_batch.violations.front();
+  ASSERT_GT(unbatched.event_log.size(), 0u);
+  EXPECT_EQ(unbatched.event_log, small_batch.event_log);
+  EXPECT_EQ(unbatched.event_log, big_batch.event_log);
+}
+
+// Flipping the kernel table between scalar and the machine's vector
+// unit must leave the event log byte-identical — the realtime proof of
+// the kernel-level bit-equivalence contract.
+TEST(PipelineIdentity, EventLogByteIdenticalAcrossSimdLevels) {
+  if (vector_table() == nullptr)
+    GTEST_SKIP() << "no vector unit on this build/machine";
+  DispatchRestore restore;
+  signal::simd::override_level_for_testing(SimdLevel::Scalar);
+  const auto scalar = core::run_soak(dsp_soak(0x51D, 16));
+  signal::simd::override_level_for_testing(signal::simd::detected_level());
+  const auto vector = core::run_soak(dsp_soak(0x51D, 16));
+  EXPECT_TRUE(scalar.ok()) << scalar.violations.front();
+  EXPECT_TRUE(vector.ok()) << vector.violations.front();
+  ASSERT_GT(scalar.event_log.size(), 0u);
+  EXPECT_EQ(scalar.event_log, vector.event_log);
+}
+
+}  // namespace
+}  // namespace tagbreathe
