@@ -72,7 +72,7 @@ void BM_RealtimePipelineFeed(benchmark::State& state) {
     core::PipelineConfig cfg;
     core::RealtimePipeline pipeline(cfg, nullptr);
     for (const auto& r : reads) pipeline.push(r);
-    benchmark::DoNotOptimize(pipeline.latest().size());
+    benchmark::DoNotOptimize(pipeline.latest_size());
   }
   state.counters["reads/s"] = benchmark::Counter(
       static_cast<double>(reads.size()), benchmark::Counter::kIsRate);
@@ -257,7 +257,7 @@ void BM_PipelineMultiUser(benchmark::State& state) {
     cfg.analysis_batch = static_cast<std::size_t>(state.range(3));
     core::RealtimePipeline pipeline(cfg, nullptr);
     for (const auto& r : reads) pipeline.push(r);
-    benchmark::DoNotOptimize(pipeline.latest().size());
+    benchmark::DoNotOptimize(pipeline.latest_size());
   }
   state.counters["reads/s"] = benchmark::Counter(
       static_cast<double>(reads.size()), benchmark::Counter::kIsRate);

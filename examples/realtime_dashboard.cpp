@@ -10,7 +10,6 @@
 // argument overrides the path) — the same text a /metrics endpoint
 // would serve, so `curl`-style tooling and promtool can consume it.
 #include <cstdio>
-#include <map>
 #include <string>
 
 #include "common/table.hpp"
@@ -24,9 +23,12 @@ using namespace tagbreathe;
 
 namespace {
 
-void draw(double now, const std::map<std::uint64_t, core::UserAnalysis>& latest) {
+void draw(double now, const core::RealtimePipeline& pipeline) {
   std::printf("\n==== TagBreathe dashboard @ t = %5.1f s ====\n", now);
-  for (const auto& [user, a] : latest) {
+  // Ascending user order — the pipeline's explicit ordering contract,
+  // so the dashboard rows never depend on registry layout.
+  pipeline.for_each_latest_ordered([&](std::uint64_t user,
+                                       const core::UserAnalysis& a) {
     // Trailing 30 s of the breath waveform as a sparkline.
     std::vector<double> tail;
     for (const auto& s : a.breath.samples)
@@ -40,7 +42,7 @@ void draw(double now, const std::map<std::uint64_t, core::UserAnalysis>& latest)
     std::printf("CV %.2f %s\n", stats.interval_cv,
                 core::is_irregular(stats) ? "(irregular)" : "");
     std::printf("  %s\n", common::sparkline(tail).c_str());
-  }
+  });
 }
 
 }  // namespace
@@ -76,20 +78,21 @@ int main(int argc, char** argv) {
   scenario.reader().run(scene.duration_s, [&](const core::TagRead& read) {
     pipeline.push(read);
     if (read.time_s >= next_draw) {
-      draw(read.time_s, pipeline.latest());
+      draw(read.time_s, pipeline);
       next_draw += 20.0;
     }
   });
 
   std::printf("\nfinal state:\n");
   common::ConsoleTable table({"user", "rate [bpm]", "true (final) [bpm]"});
-  for (const auto& [user, a] : pipeline.latest()) {
-    const double truth =
-        scenario.subject(user - 1).breathing().schedule().rate_bpm_at(
-            scene.duration_s);
-    table.add_row({std::to_string(user), common::fmt(a.rate.rate_bpm, 1),
-                   common::fmt(truth, 1)});
-  }
+  pipeline.for_each_latest_ordered(
+      [&](std::uint64_t user, const core::UserAnalysis& a) {
+        const double truth =
+            scenario.subject(user - 1).breathing().schedule().rate_bpm_at(
+                scene.duration_s);
+        table.add_row({std::to_string(user), common::fmt(a.rate.rate_bpm, 1),
+                       common::fmt(truth, 1)});
+      });
   table.print();
 
   // The scrape a /metrics endpoint would serve.

@@ -1,0 +1,292 @@
+// Open-addressing robin-hood hash map for the per-user registries
+// (ISSUE 10).
+//
+// Every hot registry in the system — demux user table, pipeline user
+// state, validator LRU index, fleet coverage/parked/rebalance tables,
+// FFT plan caches — was a node-based std::map: one heap allocation and
+// one pointer chase per user. At the 100k–1M-user target the node
+// overhead (~48 B/node) and cache misses dominate before CPU does.
+// FlatMap stores entries in one contiguous power-of-two table with
+// robin-hood displacement and backward-shift deletion (no tombstones:
+// erased slots are immediately reusable and probe chains never grow
+// from churn), so lookups are one hash + a short linear scan.
+//
+// Determinism contract: unordered traversal (for_each / erase_if) must
+// only be used where visit order cannot reach an output byte; every
+// ordered consumer (event emission, snapshot encoding, rebalance
+// batching) goes through for_each_ordered / sorted_keys, which visit
+// keys in ascending operator< order exactly like the std::map the
+// registries replaced. test_capacity gates both equivalences.
+//
+// Requirements on T: default-constructible + move-assignable (empty
+// slots hold default-constructed values; robin-hood displacement moves
+// entries). Requirements on Key: equality, operator<, hashable.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tagbreathe::common {
+
+/// SplitMix64 finalizer: the same mix the fleet uses for user->shard
+/// hashing. Distributes sequential user IDs uniformly across the table.
+inline std::uint64_t splitmix64_mix(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+struct U64Hash {
+  std::uint64_t operator()(std::uint64_t key) const noexcept {
+    return splitmix64_mix(key);
+  }
+};
+
+template <typename Key, typename T, typename Hash = U64Hash>
+class FlatMap {
+ public:
+  FlatMap() = default;
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  /// Table slots currently reserved (0 before the first insert).
+  std::size_t capacity() const noexcept { return meta_.size(); }
+  /// Times the table grew (tests pin this to prove churn reuses slots).
+  std::size_t rehashes() const noexcept { return rehashes_; }
+
+  void clear() noexcept {
+    for (std::size_t i = 0; i < meta_.size(); ++i) {
+      if (meta_[i] != 0) {
+        entries_[i].key = Key{};
+        entries_[i].value = T{};
+        meta_[i] = 0;
+      }
+    }
+    size_ = 0;
+  }
+
+  /// Pre-sizes the table for `n` entries without exceeding the load
+  /// bound (big populations skip the doubling cascade).
+  void reserve(std::size_t n) {
+    std::size_t want = kMinCapacity;
+    while (want * kMaxLoadNum < n * kLoadDen) want <<= 1;
+    if (want > meta_.size()) rehash(want);
+  }
+
+  T* find(const Key& key) noexcept {
+    const std::size_t i = find_index(key);
+    return i == npos ? nullptr : &entries_[i].value;
+  }
+  const T* find(const Key& key) const noexcept {
+    const std::size_t i = find_index(key);
+    return i == npos ? nullptr : &entries_[i].value;
+  }
+  bool contains(const Key& key) const noexcept {
+    return find_index(key) != npos;
+  }
+
+  /// Inserts a default-constructed value when absent (std::map parity).
+  T& operator[](const Key& key) {
+    if (meta_.empty() || (size_ + 1) * kLoadDen > meta_.size() * kMaxLoadNum)
+      rehash(meta_.empty() ? kMinCapacity : meta_.size() * 2);
+    return slot_for(key);
+  }
+
+  /// Erases one key. Backward-shift deletion: the probe chain after the
+  /// hole moves one slot left, so no tombstone is ever left behind.
+  bool erase(const Key& key) {
+    const std::size_t i = find_index(key);
+    if (i == npos) return false;
+    erase_index(i);
+    return true;
+  }
+
+  /// Unordered traversal (mutable values). Do NOT erase inside; use
+  /// erase_if. Visit order is hash order — never let it reach an
+  /// output byte.
+  template <typename F>
+  void for_each(F&& fn) {
+    for (std::size_t i = 0; i < meta_.size(); ++i)
+      if (meta_[i] != 0) fn(entries_[i].key, entries_[i].value);
+  }
+  template <typename F>
+  void for_each(F&& fn) const {
+    for (std::size_t i = 0; i < meta_.size(); ++i)
+      if (meta_[i] != 0) fn(entries_[i].key, entries_[i].value);
+  }
+
+  /// Erases every entry the predicate accepts; returns entries erased.
+  /// Safe under backward-shift: after an erase the shifted-in entry is
+  /// re-examined before the scan advances.
+  template <typename Pred>
+  std::size_t erase_if(Pred&& pred) {
+    std::size_t erased = 0;
+    for (std::size_t i = 0; i < meta_.size();) {
+      if (meta_[i] != 0 && pred(entries_[i].key, entries_[i].value)) {
+        erase_index(i);
+        ++erased;
+        // A backward shift may have moved the next chain entry into
+        // slot i — re-test it. A chain never wraps into lower indices
+        // it already vacated unless it crosses the table end; the wrap
+        // case re-tests those entries at their new position, which is
+        // correct (at worst a key is visited twice, never skipped).
+        continue;
+      }
+      ++i;
+    }
+    return erased;
+  }
+
+  /// Keys in ascending operator< order. Allocates one vector per call —
+  /// callers on a tick cadence (snapshot export, rebalance batching)
+  /// absorb that; per-read paths must not use it.
+  std::vector<Key> sorted_keys() const {
+    std::vector<Key> keys;
+    keys.reserve(size_);
+    for (std::size_t i = 0; i < meta_.size(); ++i)
+      if (meta_[i] != 0) keys.push_back(entries_[i].key);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+  /// Ordered traversal: visits entries in ascending key order, exactly
+  /// like the std::map registries this replaces. The ordering contract
+  /// every determinism invariant leans on (ISSUE 10 satellite).
+  template <typename F>
+  void for_each_ordered(F&& fn) const {
+    for (const Key& key : sorted_keys()) {
+      const std::size_t i = find_index(key);
+      fn(entries_[i].key, entries_[i].value);
+    }
+  }
+  template <typename F>
+  void for_each_ordered(F&& fn) {
+    for (const Key& key : sorted_keys()) {
+      const std::size_t i = find_index(key);
+      fn(entries_[i].key, entries_[i].value);
+    }
+  }
+
+  /// Longest probe chain currently in the table (capacity_probe_length
+  /// instrumentation; O(capacity), call at tick cadence).
+  std::size_t max_probe_length() const noexcept {
+    std::uint16_t worst = 0;
+    for (const std::uint16_t m : meta_) worst = std::max(worst, m);
+    return worst == 0 ? 0 : static_cast<std::size_t>(worst - 1);
+  }
+
+  /// Resident bytes of the table itself (entry + metadata arrays).
+  /// Payload-owned heap (vectors inside T) is the payload's business.
+  std::size_t table_bytes() const noexcept {
+    return meta_.size() * (sizeof(Entry) + sizeof(std::uint16_t));
+  }
+
+ private:
+  struct Entry {
+    Key key{};
+    T value{};
+  };
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kMinCapacity = 16;
+  // Grow beyond 13/16 (= 0.8125) occupancy: robin-hood keeps probe
+  // chains short up to high load, and the empty-slot overhead stays
+  // under a quarter of the table.
+  static constexpr std::size_t kMaxLoadNum = 13;
+  static constexpr std::size_t kLoadDen = 16;
+
+  std::size_t mask() const noexcept { return meta_.size() - 1; }
+
+  std::size_t find_index(const Key& key) const noexcept {
+    if (meta_.empty()) return npos;
+    std::size_t i = Hash{}(key)&mask();
+    std::uint16_t dist = 1;  // meta stores probe distance + 1; 0 = empty
+    while (true) {
+      const std::uint16_t m = meta_[i];
+      // Empty slot, or a resident closer to home than we are: a
+      // robin-hood table cannot hold the key past this point.
+      if (m == 0 || m < dist) return npos;
+      if (m == dist && entries_[i].key == key) return i;
+      i = (i + 1) & mask();
+      ++dist;
+    }
+  }
+
+  /// Insert-or-find after the load check. Robin-hood: a probing entry
+  /// displaces any resident with a shorter distance from home.
+  T& slot_for(const Key& key) {
+    std::size_t i = Hash{}(key)&mask();
+    std::uint16_t dist = 1;
+    Key pending_key = key;
+    T pending_value{};
+    std::size_t result = npos;
+    while (true) {
+      std::uint16_t& m = meta_[i];
+      if (m == 0) {
+        entries_[i].key = std::move(pending_key);
+        entries_[i].value = std::move(pending_value);
+        m = dist;
+        ++size_;
+        return entries_[result == npos ? i : result].value;
+      }
+      if (result == npos && m == dist && entries_[i].key == pending_key)
+        return entries_[i].value;
+      if (m < dist) {
+        // Displace the richer resident; keep probing for its new home.
+        std::swap(entries_[i].key, pending_key);
+        std::swap(entries_[i].value, pending_value);
+        std::swap(m, dist);
+        if (result == npos) result = i;
+      }
+      i = (i + 1) & mask();
+      ++dist;
+    }
+  }
+
+  void erase_index(std::size_t i) {
+    // Shift the rest of the chain back one slot until a hole or a
+    // distance-1 entry (already home) terminates it.
+    std::size_t next = (i + 1) & mask();
+    while (meta_[next] > 1) {
+      entries_[i].key = std::move(entries_[next].key);
+      entries_[i].value = std::move(entries_[next].value);
+      meta_[i] = static_cast<std::uint16_t>(meta_[next] - 1);
+      i = next;
+      next = (next + 1) & mask();
+    }
+    entries_[i].key = Key{};
+    entries_[i].value = T{};
+    meta_[i] = 0;
+    --size_;
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<Entry> old_entries = std::move(entries_);
+    std::vector<std::uint16_t> old_meta = std::move(meta_);
+    entries_ = std::vector<Entry>(new_capacity);
+    meta_.assign(new_capacity, 0);
+    const std::size_t old_size = size_;
+    size_ = 0;
+    if (!old_meta.empty()) ++rehashes_;
+    for (std::size_t i = 0; i < old_meta.size(); ++i) {
+      if (old_meta[i] == 0) continue;
+      slot_for(old_entries[i].key) = std::move(old_entries[i].value);
+    }
+    (void)old_size;
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<std::uint16_t> meta_;  // probe distance + 1; 0 = empty
+  std::size_t size_ = 0;
+  std::size_t rehashes_ = 0;
+};
+
+/// The user-id-keyed specialization every per-user registry uses.
+template <typename T>
+using FlatUserMap = FlatMap<std::uint64_t, T, U64Hash>;
+
+}  // namespace tagbreathe::common

@@ -17,6 +17,34 @@ bool StreamDemux::is_monitored(std::uint64_t user_id) const noexcept {
                             user_id);
 }
 
+std::vector<TagRead>& StreamDemux::stream_for(std::uint64_t user,
+                                              std::uint32_t tag,
+                                              std::uint8_t antenna) {
+  UserEntry* entry = users_.find(user);
+  if (entry == nullptr) {
+    entry = &users_[user];
+    user_order_dirty_ = true;
+  }
+  // Keep the per-user handle list sorted by (tag, antenna): the list is
+  // a handful of entries (tags-per-user x antennas), so a linear
+  // insertion keeps global StreamKey order with no comparator gymnastics.
+  const StreamKey key{user, tag, antenna};
+  std::size_t at = entry->streams.size();
+  for (std::size_t i = 0; i < entry->streams.size(); ++i) {
+    const StreamSlot* existing = slot(entry->streams[i]);
+    if (existing->key == key) return arena_.at(entry->streams[i]).reads;
+    if (key < existing->key) {
+      at = i;
+      break;
+    }
+  }
+  const common::SlabHandle handle = arena_.emplace();
+  arena_.at(handle).key = key;
+  entry->streams.insert(
+      entry->streams.begin() + static_cast<std::ptrdiff_t>(at), handle);
+  return arena_.at(handle).reads;
+}
+
 void StreamDemux::add(const TagRead& read) {
   std::uint64_t user;
   std::uint32_t tag;
@@ -39,25 +67,27 @@ void StreamDemux::add(const TagRead& read) {
     if (obs_.accepted != nullptr) obs_.ignored->add();
     return;
   }
-  const StreamKey key{user, tag, read.antenna_id};
-  auto& stream = streams_[key];
+  std::vector<TagRead>& stream = stream_for(user, tag, read.antenna_id);
   if (max_reads_per_stream_ > 0 && stream.size() >= max_reads_per_stream_) {
     stream.erase(stream.begin());
     ++shed_;
     if (obs_.accepted != nullptr) obs_.shed->add();
   }
+  const bool was_empty = stream.empty();
   stream.push_back(read);
   ++accepted_;
-  ++reads_seen_[user];
+  UserEntry& entry = users_[user];
+  ++entry.reads_seen;
+  if (was_empty && entry.non_empty++ == 0) user_order_dirty_ = true;
   if (obs_.accepted != nullptr) {
     obs_.accepted->add();
-    obs_.streams->set(static_cast<double>(streams_.size()));
+    obs_.streams->set(static_cast<double>(arena_.live()));
   }
 }
 
 std::uint64_t StreamDemux::reads_seen(std::uint64_t user_id) const noexcept {
-  const auto it = reads_seen_.find(user_id);
-  return it == reads_seen_.end() ? 0 : it->second;
+  const UserEntry* entry = users_.find(user_id);
+  return entry == nullptr ? 0 : entry->reads_seen;
 }
 
 void StreamDemux::add(std::span<const TagRead> reads) {
@@ -67,8 +97,11 @@ void StreamDemux::add(std::span<const TagRead> reads) {
 std::vector<const std::vector<TagRead>*> StreamDemux::streams_for_user(
     std::uint64_t user_id) const {
   std::vector<const std::vector<TagRead>*> out;
-  for (const auto& [key, stream] : streams_) {
-    if (key.user_id == user_id && !stream.empty()) out.push_back(&stream);
+  const UserEntry* entry = users_.find(user_id);
+  if (entry == nullptr) return out;
+  for (const common::SlabHandle handle : entry->streams) {
+    const StreamSlot* s = slot(handle);
+    if (!s->reads.empty()) out.push_back(&s->reads);
   }
   return out;
 }
@@ -76,10 +109,12 @@ std::vector<const std::vector<TagRead>*> StreamDemux::streams_for_user(
 std::vector<const std::vector<TagRead>*> StreamDemux::streams_for_user_antenna(
     std::uint64_t user_id, std::uint8_t antenna_id) const {
   std::vector<const std::vector<TagRead>*> out;
-  for (const auto& [key, stream] : streams_) {
-    if (key.user_id == user_id && key.antenna_id == antenna_id &&
-        !stream.empty())
-      out.push_back(&stream);
+  const UserEntry* entry = users_.find(user_id);
+  if (entry == nullptr) return out;
+  for (const common::SlabHandle handle : entry->streams) {
+    const StreamSlot* s = slot(handle);
+    if (s->key.antenna_id == antenna_id && !s->reads.empty())
+      out.push_back(&s->reads);
   }
   return out;
 }
@@ -87,32 +122,53 @@ std::vector<const std::vector<TagRead>*> StreamDemux::streams_for_user_antenna(
 std::vector<std::uint8_t> StreamDemux::antennas_for_user(
     std::uint64_t user_id) const {
   std::vector<std::uint8_t> out;
-  for (const auto& [key, stream] : streams_) {
-    if (key.user_id != user_id || stream.empty()) continue;
-    if (std::find(out.begin(), out.end(), key.antenna_id) == out.end())
-      out.push_back(key.antenna_id);
+  const UserEntry* entry = users_.find(user_id);
+  if (entry == nullptr) return out;
+  for (const common::SlabHandle handle : entry->streams) {
+    const StreamSlot* s = slot(handle);
+    if (s->reads.empty()) continue;
+    if (std::find(out.begin(), out.end(), s->key.antenna_id) == out.end())
+      out.push_back(s->key.antenna_id);
   }
   std::sort(out.begin(), out.end());
   return out;
 }
 
-std::vector<std::uint64_t> StreamDemux::users() const {
-  std::vector<std::uint64_t> out;
-  for (const auto& [key, stream] : streams_) {
-    if (stream.empty()) continue;
-    if (std::find(out.begin(), out.end(), key.user_id) == out.end())
-      out.push_back(key.user_id);
+const std::vector<std::uint64_t>& StreamDemux::users() const {
+  if (user_order_dirty_) {
+    user_order_.clear();
+    user_order_.reserve(users_.size());
+    users_.for_each([this](const std::uint64_t& user, const UserEntry& entry) {
+      if (entry.non_empty > 0) user_order_.push_back(user);
+    });
+    std::sort(user_order_.begin(), user_order_.end());
+    user_order_dirty_ = false;
   }
-  std::sort(out.begin(), out.end());
-  return out;
+  return user_order_;
+}
+
+void StreamDemux::recount_user(UserEntry& entry) {
+  std::uint32_t non_empty = 0;
+  for (const common::SlabHandle handle : entry.streams)
+    if (!slot(handle)->reads.empty()) ++non_empty;
+  if ((entry.non_empty == 0) != (non_empty == 0)) user_order_dirty_ = true;
+  entry.non_empty = non_empty;
 }
 
 DemuxState StreamDemux::export_state() const {
   DemuxState state;
-  state.streams.reserve(streams_.size());
-  for (const auto& [key, stream] : streams_)
-    state.streams.push_back(DemuxState::Stream{key, stream});
-  state.reads_seen.assign(reads_seen_.begin(), reads_seen_.end());
+  state.streams.reserve(arena_.live());
+  state.reads_seen.reserve(users_.size());
+  // Ascending users, sorted per-user streams => global StreamKey order,
+  // byte-identical to the std::map image this replaced.
+  for (const std::uint64_t user : users()) {
+    const UserEntry* entry = users_.find(user);
+    for (const common::SlabHandle handle : entry->streams) {
+      const StreamSlot* s = slot(handle);
+      state.streams.push_back(DemuxState::Stream{s->key, s->reads});
+    }
+    state.reads_seen.push_back({user, entry->reads_seen});
+  }
   state.accepted = accepted_;
   state.ignored = ignored_;
   state.shed = shed_;
@@ -120,11 +176,16 @@ DemuxState StreamDemux::export_state() const {
 }
 
 void StreamDemux::import_state(DemuxState state) {
-  streams_.clear();
+  users_.clear();
+  arena_.clear();
+  user_order_dirty_ = true;
   for (auto& stream : state.streams)
-    streams_[stream.key] = std::move(stream.reads);
-  reads_seen_.clear();
-  reads_seen_.insert(state.reads_seen.begin(), state.reads_seen.end());
+    stream_for(stream.key.user_id, stream.key.tag_id, stream.key.antenna_id) =
+        std::move(stream.reads);
+  for (const auto& [user, seen] : state.reads_seen)
+    users_[user].reads_seen = seen;
+  users_.for_each(
+      [this](const std::uint64_t&, UserEntry& entry) { recount_user(entry); });
   accepted_ = state.accepted;
   ignored_ = state.ignored;
   shed_ = state.shed;
@@ -132,26 +193,28 @@ void StreamDemux::import_state(DemuxState state) {
     obs_.accepted->set(accepted_);
     obs_.ignored->set(ignored_);
     obs_.shed->set(shed_);
-    obs_.streams->set(static_cast<double>(streams_.size()));
+    obs_.streams->set(static_cast<double>(arena_.live()));
   }
 }
 
 DemuxState StreamDemux::export_user(std::uint64_t user_id) const {
   DemuxState state;
-  for (const auto& [key, stream] : streams_) {
-    if (key.user_id == user_id && !stream.empty())
-      state.streams.push_back(DemuxState::Stream{key, stream});
+  const UserEntry* entry = users_.find(user_id);
+  if (entry == nullptr) return state;
+  for (const common::SlabHandle handle : entry->streams) {
+    const StreamSlot* s = slot(handle);
+    if (!s->reads.empty())
+      state.streams.push_back(DemuxState::Stream{s->key, s->reads});
   }
-  const auto seen = reads_seen_.find(user_id);
-  if (seen != reads_seen_.end())
-    state.reads_seen.push_back({user_id, seen->second});
+  state.reads_seen.push_back({user_id, entry->reads_seen});
   return state;
 }
 
 std::size_t StreamDemux::import_user(const DemuxState& state) {
   std::size_t imported = 0;
   for (const DemuxState::Stream& s : state.streams) {
-    auto& stream = streams_[s.key];
+    std::vector<TagRead>& stream =
+        stream_for(s.key.user_id, s.key.tag_id, s.key.antenna_id);
     stream.insert(stream.end(), s.reads.begin(), s.reads.end());
     std::stable_sort(stream.begin(), stream.end(),
                      [](const TagRead& a, const TagRead& b) {
@@ -165,16 +228,20 @@ std::size_t StreamDemux::import_user(const DemuxState& state) {
       if (obs_.accepted != nullptr) obs_.shed->add(excess);
     }
     imported += s.reads.size();
-    reads_seen_[s.key.user_id] += s.reads.size();
+    UserEntry& entry = users_[s.key.user_id];
+    entry.reads_seen += s.reads.size();
+    recount_user(entry);
   }
   if (obs_.accepted != nullptr)
-    obs_.streams->set(static_cast<double>(streams_.size()));
+    obs_.streams->set(static_cast<double>(arena_.live()));
   return imported;
 }
 
 void StreamDemux::clear() noexcept {
-  streams_.clear();
-  reads_seen_.clear();
+  users_.clear();
+  arena_.clear();
+  user_order_.clear();
+  user_order_dirty_ = false;
   accepted_ = 0;
   ignored_ = 0;
   shed_ = 0;
@@ -187,26 +254,46 @@ void StreamDemux::clear() noexcept {
 }
 
 std::size_t StreamDemux::drop_user(std::uint64_t user_id) {
+  UserEntry* entry = users_.find(user_id);
+  if (entry == nullptr) return 0;
   std::size_t released = 0;
-  for (auto it = streams_.begin(); it != streams_.end();) {
-    if (it->first.user_id == user_id) {
-      released += it->second.size();
-      it = streams_.erase(it);
-    } else {
-      ++it;
-    }
+  for (const common::SlabHandle handle : entry->streams) {
+    released += arena_.at(handle).reads.size();
+    arena_.release(handle);
   }
-  reads_seen_.erase(user_id);
+  users_.erase(user_id);
+  user_order_dirty_ = true;
   return released;
 }
 
 void StreamDemux::evict_before(double cutoff_s) {
-  for (auto& [key, stream] : streams_) {
-    const auto first_kept = std::find_if(
-        stream.begin(), stream.end(),
-        [cutoff_s](const TagRead& r) { return r.time_s >= cutoff_s; });
-    stream.erase(stream.begin(), first_kept);
-  }
+  // Unordered sweep: each stream is trimmed independently, so visit
+  // order cannot reach an output byte. Empty streams keep their slot
+  // (and their buffer capacity) — the user is still tracked and the
+  // next read lands without an allocation.
+  users_.for_each([this, cutoff_s](const std::uint64_t&, UserEntry& entry) {
+    bool trimmed = false;
+    for (const common::SlabHandle handle : entry.streams) {
+      std::vector<TagRead>& stream = arena_.at(handle).reads;
+      const auto first_kept = std::find_if(
+          stream.begin(), stream.end(),
+          [cutoff_s](const TagRead& r) { return r.time_s >= cutoff_s; });
+      if (first_kept != stream.begin()) trimmed = true;
+      stream.erase(stream.begin(), first_kept);
+    }
+    if (trimmed) recount_user(entry);
+  });
+}
+
+std::size_t StreamDemux::footprint_bytes() const noexcept {
+  std::size_t bytes = arena_.bytes_reserved() + users_.table_bytes() +
+                      user_order_.capacity() * sizeof(std::uint64_t);
+  users_.for_each([&bytes, this](const std::uint64_t&, const UserEntry& entry) {
+    bytes += entry.streams.capacity() * sizeof(common::SlabHandle);
+    for (const common::SlabHandle handle : entry.streams)
+      bytes += slot(handle)->reads.capacity() * sizeof(TagRead);
+  });
+  return bytes;
 }
 
 void StreamDemux::bind_observability(obs::Observability& hub) {
@@ -220,7 +307,7 @@ void StreamDemux::bind_observability(obs::Observability& hub) {
   obs_.accepted->set(accepted_);
   obs_.ignored->set(ignored_);
   obs_.shed->set(shed_);
-  obs_.streams->set(static_cast<double>(streams_.size()));
+  obs_.streams->set(static_cast<double>(arena_.live()));
 }
 
 }  // namespace tagbreathe::core

@@ -6,13 +6,30 @@
 // (user, tag, antenna) stream — different tags and different antenna
 // geometries have unrelated phase offsets — so the demux keys on all
 // three, while fusion later regroups the streams per user.
+//
+// Capacity layout (ISSUE 10): the registry is a per-user flat map whose
+// entries hold a small sorted vector of slab handles — one per (tag,
+// antenna) stream — into a SlabArena of stream buffers. Compared to the
+// node-based std::map<StreamKey, vector> it replaces:
+// - looking up one user's streams is O(streams of that user), not a
+//   scan of every stream in the shard;
+// - stream buffers live in slabs, so admission/eviction churn at the
+//   census cap reuses slots instead of hitting the heap;
+// - users() is served from a cached sorted roster (rebuilt only when
+//   the user set changed), so the per-tick ordering pass is free in
+//   steady state.
+// Ordering contract: every exported or emitted sequence (export_state,
+// export_user, users, streams_for_user) visits users ascending and
+// each user's streams in (tag, antenna) order — exactly the global
+// StreamKey order of the std::map this replaced, byte for byte.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <span>
 #include <vector>
 
+#include "common/flat_map.hpp"
+#include "common/slab_arena.hpp"
 #include "core/tag_registry.hpp"
 #include "core/types.hpp"
 
@@ -32,6 +49,14 @@ struct StreamKey {
 
   friend bool operator==(const StreamKey&, const StreamKey&) = default;
   friend auto operator<=>(const StreamKey&, const StreamKey&) = default;
+};
+
+struct StreamKeyHash {
+  std::uint64_t operator()(const StreamKey& key) const noexcept {
+    return common::splitmix64_mix(
+        common::splitmix64_mix(key.user_id) ^
+        (static_cast<std::uint64_t>(key.tag_id) << 8) ^ key.antenna_id);
+  }
 };
 
 /// Serializable image of a demux: buffered streams plus the monotonic
@@ -68,7 +93,9 @@ class StreamDemux {
   void add(const TagRead& read);
   void add(std::span<const TagRead> reads);
 
-  /// All streams of one user, keyed by (tag, antenna).
+  /// All streams of one user, keyed by (tag, antenna), in key order.
+  /// Pointers stay valid until the user's streams are dropped (slab
+  /// slots never move).
   std::vector<const std::vector<TagRead>*> streams_for_user(
       std::uint64_t user_id) const;
 
@@ -79,8 +106,10 @@ class StreamDemux {
   /// Antenna ports that reported any read for this user.
   std::vector<std::uint8_t> antennas_for_user(std::uint64_t user_id) const;
 
-  /// User IDs with at least one stored read, ascending.
-  std::vector<std::uint64_t> users() const;
+  /// User IDs with at least one stored read, ascending. The roster is
+  /// cached and rebuilt only when the user set changed since the last
+  /// call; the reference stays valid until the next add/drop/clear.
+  const std::vector<std::uint64_t>& users() const;
 
   /// Monotonic count of reads accepted for one user since construction
   /// (window eviction does not rewind it). The pipeline's dirty-window
@@ -129,7 +158,8 @@ class StreamDemux {
   /// this to bound memory over long sessions).
   void evict_before(double cutoff_s);
 
-  /// Drops every stream of one user (admission-control eviction).
+  /// Drops every stream of one user (admission-control eviction); the
+  /// slab slots go back on the free list for the next admitted user.
   /// Returns the number of reads released.
   std::size_t drop_user(std::uint64_t user_id);
 
@@ -138,13 +168,55 @@ class StreamDemux {
   /// allocation-free afterwards.
   void bind_observability(obs::Observability& hub);
 
+  // --- capacity accounting (ISSUE 10) --------------------------------------
+  /// Live / reserved occupancy of the stream-buffer arena.
+  double arena_occupancy() const noexcept { return arena_.occupancy(); }
+  /// Free-list reuses served by the arena (eviction churn that cost no
+  /// allocation).
+  std::size_t arena_reuses() const noexcept { return arena_.reuses(); }
+  /// Longest probe chain in the user registry (capacity_probe_length).
+  std::size_t registry_max_probe() const noexcept {
+    return users_.max_probe_length();
+  }
+  /// Resident bytes attributable to buffered state: slab storage, the
+  /// registry table, and every stream buffer's capacity. O(streams);
+  /// call at tick cadence, not per read.
+  std::size_t footprint_bytes() const noexcept;
+
  private:
+  /// One slab-resident stream buffer.
+  struct StreamSlot {
+    StreamKey key;
+    std::vector<TagRead> reads;
+  };
+  /// Per-user registry entry: handles sorted by (tag, antenna).
+  /// `non_empty` counts streams currently holding reads — users() lists
+  /// a user only while it is > 0, matching the "at least one stored
+  /// read" contract of the registry this replaced (a user whose window
+  /// fully aged out must vanish from the analysis roster, or the event
+  /// log would grow ticks the old engine never ran).
+  struct UserEntry {
+    std::vector<common::SlabHandle> streams;
+    std::uint64_t reads_seen = 0;
+    std::uint32_t non_empty = 0;
+  };
+
   bool is_monitored(std::uint64_t user_id) const noexcept;
+  std::vector<TagRead>& stream_for(std::uint64_t user, std::uint32_t tag,
+                                   std::uint8_t antenna);
+  /// Recomputes `non_empty` from the streams themselves (bulk paths —
+  /// import, window eviction — that bypass add()'s incremental count).
+  void recount_user(UserEntry& entry);
+  const StreamSlot* slot(common::SlabHandle handle) const noexcept {
+    return arena_.get(handle);
+  }
 
   std::vector<std::uint64_t> monitored_users_;
   const TagRegistry* registry_ = nullptr;
-  std::map<StreamKey, std::vector<TagRead>> streams_;
-  std::map<std::uint64_t, std::uint64_t> reads_seen_;
+  common::FlatUserMap<UserEntry> users_;
+  common::SlabArena<StreamSlot> arena_;
+  mutable std::vector<std::uint64_t> user_order_;  // cached ascending roster
+  mutable bool user_order_dirty_ = false;
   std::size_t accepted_ = 0;
   std::size_t ignored_ = 0;
   std::size_t shed_ = 0;

@@ -205,9 +205,8 @@ ReadValidator::Verdict ReadValidator::quarantine(QuarantineReason reason) {
 }
 
 void ReadValidator::touch_user(std::uint64_t user_id) {
-  const auto it = lru_index_.find(user_id);
-  if (it != lru_index_.end()) {
-    lru_order_.splice(lru_order_.end(), lru_order_, it->second);
+  if (auto* pos = lru_index_.find(user_id)) {
+    lru_order_.splice(lru_order_.end(), lru_order_, *pos);
     return;
   }
   lru_index_[user_id] = lru_order_.insert(lru_order_.end(), user_id);
@@ -218,12 +217,9 @@ void ReadValidator::touch_user(std::uint64_t user_id) {
   lru_index_.erase(victim);
   // Release the victim's per-stream state too, or the streams_ map
   // would keep growing across eviction churn.
-  for (auto s = streams_.begin(); s != streams_.end();) {
-    if (s->first.user_id == victim)
-      s = streams_.erase(s);
-    else
-      ++s;
-  }
+  streams_.erase_if([victim](const LruKey& key, const StreamState&) {
+    return key.user_id == victim;
+  });
   pending_evictions_.push_back(victim);
   ++counters_.users_evicted;
   if (obs_.admitted != nullptr) obs_.users_evicted->add();
@@ -275,11 +271,11 @@ ReadValidator::Verdict ReadValidator::admit(TagRead& read) {
   }
 
   const LruKey key{user, tag, read.antenna_id};
-  const auto stream = streams_.find(key);
-  if (stream != streams_.end() &&
-      std::abs(read.time_s - stream->second.last_time_s) <=
+  const StreamState* stream = streams_.find(key);
+  if (stream != nullptr &&
+      std::abs(read.time_s - stream->last_time_s) <=
           config_.duplicate_window_s &&
-      read.phase_rad == stream->second.last_phase_rad)
+      read.phase_rad == stream->last_phase_rad)
     return quarantine(QuarantineReason::DuplicateRead);
 
   streams_[key] = StreamState{read.time_s, read.phase_rad};
@@ -300,11 +296,13 @@ ValidatorState ReadValidator::export_state() const {
   state.any_admitted = std::isfinite(last_admitted_s_);
   state.last_admitted_s = state.any_admitted ? last_admitted_s_ : 0.0;
   state.streams.reserve(streams_.size());
-  for (const auto& [key, stream] : streams_) {
+  // Ordered walk: the snapshot image must not depend on table layout.
+  streams_.for_each_ordered([&state](const LruKey& key,
+                                     const StreamState& stream) {
     state.streams.push_back(ValidatorState::Stream{
         key.user_id, key.tag_id, key.antenna_id, stream.last_time_s,
         stream.last_phase_rad});
-  }
+  });
   state.lru_order.assign(lru_order_.begin(), lru_order_.end());
   return state;
 }

@@ -35,10 +35,10 @@
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <map>
 #include <mutex>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/ring_buffer.hpp"
 #include "core/metrics.hpp"
 #include "core/pipeline.hpp"
@@ -273,10 +273,18 @@ class ReadValidator {
     double last_phase_rad = 0.0;
   };
   struct LruKey {
-    std::uint64_t user_id;
-    std::uint32_t tag_id;
-    std::uint8_t antenna_id;
+    std::uint64_t user_id = 0;
+    std::uint32_t tag_id = 0;
+    std::uint8_t antenna_id = 0;
+    friend bool operator==(const LruKey&, const LruKey&) = default;
     friend auto operator<=>(const LruKey&, const LruKey&) = default;
+  };
+  struct LruKeyHash {
+    std::uint64_t operator()(const LruKey& key) const noexcept {
+      return common::splitmix64_mix(
+          common::splitmix64_mix(key.user_id) ^
+          (static_cast<std::uint64_t>(key.tag_id) << 8) ^ key.antenna_id);
+    }
   };
 
   Verdict quarantine(QuarantineReason reason);
@@ -294,10 +302,14 @@ class ReadValidator {
   IngestConfig config_;
   ValidationCounters counters_;
   double last_admitted_s_;
-  std::map<LruKey, StreamState> streams_;
+  /// Per-stream duplicate-detection state; flat (ISSUE 10) because the
+  /// map holds one entry per admitted (user, tag, antenna) and is hit
+  /// on every read. export_state walks it via for_each_ordered so the
+  /// snapshot image stays byte-stable.
+  common::FlatMap<LruKey, StreamState, LruKeyHash> streams_;
   /// LRU order of admitted users, least-recent first.
   std::list<std::uint64_t> lru_order_;
-  std::map<std::uint64_t, std::list<std::uint64_t>::iterator> lru_index_;
+  common::FlatUserMap<std::list<std::uint64_t>::iterator> lru_index_;
   std::vector<std::uint64_t> pending_evictions_;
 };
 

@@ -81,6 +81,15 @@ void RealtimePipeline::bind_observability(obs::Observability& hub) {
   static constexpr std::array<double, 9> kFanoutBounds = {
       0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0};
   obs_.fanout = &m.histogram("pipeline_fanout_users", kFanoutBounds);
+  // Capacity instrumentation (ISSUE 10): resident bytes per tracked
+  // user, arena occupancy and registry probe lengths, sampled at tick
+  // cadence (footprint_bytes is O(streams), too hot for per-read).
+  obs_.bytes_per_user = &m.gauge("capacity_bytes_per_user");
+  obs_.arena_occupancy = &m.gauge("capacity_arena_occupancy");
+  static constexpr std::array<double, 8> kProbeBounds = {0.0,  1.0,  2.0,
+                                                         4.0,  8.0,  16.0,
+                                                         32.0, 64.0};
+  obs_.probe_length = &m.histogram("capacity_probe_length", kProbeBounds);
   obs_.trace_stage = hub.trace().register_stage("pipeline.update");
   // DSP dispatch level the process resolved at startup (0 = scalar,
   // 1 = AVX2, 2 = NEON): exported once — the level cannot change after
@@ -96,13 +105,16 @@ void RealtimePipeline::bind_observability(obs::Observability& hub) {
 }
 
 SignalHealth RealtimePipeline::health(std::uint64_t user_id) const noexcept {
-  const auto it = user_state_.find(user_id);
-  return it == user_state_.end() ? SignalHealth::Lost : it->second.health;
+  const UserState* state = user_state_.find(user_id);
+  return state == nullptr ? SignalHealth::Lost : state->health;
 }
 
 void RealtimePipeline::forget_user(std::uint64_t user_id) {
   user_state_.erase(user_id);
-  latest_.erase(user_id);
+  if (const common::SlabHandle* handle = latest_.find(user_id)) {
+    latest_arena_.release(*handle);
+    latest_.erase(user_id);
+  }
   last_seen_reads_.erase(user_id);
   demux_.drop_user(user_id);
 }
@@ -120,15 +132,26 @@ void RealtimePipeline::push(const TagRead& read) {
   const std::uint64_t user = read.epc.user_id();
   if (config_.max_users > 0 && !user_state_.contains(user) &&
       user_state_.size() >= config_.max_users) {
-    // Admission cap reached: evict the least-recently-read user (ties
-    // break on the lowest ID — std::map iterates ascending — so the
-    // choice is deterministic).
-    auto victim = user_state_.begin();
-    for (auto it = user_state_.begin(); it != user_state_.end(); ++it) {
-      if (it->second.last_read_s < victim->second.last_read_s) victim = it;
-    }
-    const std::uint64_t evicted = victim->first;
-    forget_user(evicted);
+    // Admission cap reached: evict the least-recently-read user, ties
+    // broken by the LOWEST user id. The ordering contract is explicit
+    // now (ISSUE 10): the old implementation leaned on std::map's
+    // ascending iteration to break ties, which a hash-ordered registry
+    // does not provide — so the tie-break is part of the min, not an
+    // iteration-order accident. test_capacity regression-tests that
+    // insertion order cannot change the victim.
+    bool have_victim = false;
+    std::uint64_t victim_id = 0;
+    double victim_read = 0.0;
+    user_state_.for_each(
+        [&](const std::uint64_t& id, const UserState& state) {
+          if (!have_victim || state.last_read_s < victim_read ||
+              (state.last_read_s == victim_read && id < victim_id)) {
+            have_victim = true;
+            victim_id = id;
+            victim_read = state.last_read_s;
+          }
+        });
+    forget_user(victim_id);
     ++users_evicted_;
     if (obs_.hub != nullptr) obs_.evicted->set(users_evicted_);
   }
@@ -145,13 +168,19 @@ PipelineState RealtimePipeline::export_state() const {
   state.started = started_;
   state.users_evicted = users_evicted_;
   state.users.reserve(user_state_.size());
-  for (const auto& [user, us] : user_state_) {
-    state.users.push_back(PipelineState::User{
-        user, us.last_read_s, us.last_crossing_s, us.in_apnea, us.lost,
-        us.ever_reliable, us.health});
-  }
-  state.last_seen_reads.assign(last_seen_reads_.begin(),
-                               last_seen_reads_.end());
+  // for_each_ordered: the snapshot image must not depend on registry
+  // hash layout (byte-identical snapshots across runs and imports).
+  user_state_.for_each_ordered(
+      [&state](const std::uint64_t& user, const UserState& us) {
+        state.users.push_back(PipelineState::User{
+            user, us.last_read_s, us.last_crossing_s, us.in_apnea, us.lost,
+            us.ever_reliable, us.health});
+      });
+  state.last_seen_reads.reserve(last_seen_reads_.size());
+  last_seen_reads_.for_each_ordered(
+      [&state](const std::uint64_t& user, const std::uint64_t& seen) {
+        state.last_seen_reads.push_back({user, seen});
+      });
   state.demux = demux_.export_state();
   return state;
 }
@@ -169,11 +198,12 @@ void RealtimePipeline::import_state(PipelineState state) {
                   u.lost,        u.ever_reliable,   u.health};
   }
   last_seen_reads_.clear();
-  last_seen_reads_.insert(state.last_seen_reads.begin(),
-                          state.last_seen_reads.end());
+  for (const auto& [user, seen] : state.last_seen_reads)
+    last_seen_reads_[user] = seen;
   // Derived data is rebuilt, not restored: the first post-restore tick
   // re-analyses every user from the restored demux window.
   latest_.clear();
+  latest_arena_.clear();
   demux_.import_state(std::move(state.demux));
 }
 
@@ -224,6 +254,13 @@ void RealtimePipeline::update(double time_s) {
   obs_.analyses->set(analyses_run_);
   obs_.skipped->set(analyses_skipped_);
   obs_.tracked->set(static_cast<double>(user_state_.size()));
+  const std::size_t tracked = user_state_.size();
+  obs_.bytes_per_user->set(
+      tracked == 0 ? 0.0
+                   : static_cast<double>(footprint_bytes()) /
+                         static_cast<double>(tracked));
+  obs_.arena_occupancy->set(demux_.arena_occupancy());
+  obs_.probe_length->observe(static_cast<double>(registry_max_probe()));
   obs_.hub->trace().exit(obs_.trace_stage, time_s, fanned_out);
 }
 
@@ -259,9 +296,9 @@ void RealtimePipeline::run_update(double time_s) {
     tick.reads_seen = demux_.reads_seen(user);
     tick.analyse = true;
     if (config_.skip_clean_users) {
-      const auto seen = last_seen_reads_.find(user);
-      if (seen != last_seen_reads_.end() &&
-          seen->second == tick.reads_seen && latest_.contains(user)) {
+      const std::uint64_t* seen = last_seen_reads_.find(user);
+      if (seen != nullptr && *seen == tick.reads_seen &&
+          latest_.contains(user)) {
         tick.analyse = false;
         ++analyses_skipped_;
       }
@@ -318,13 +355,17 @@ void RealtimePipeline::run_update(double time_s) {
     if (lost_now) {
       // Keep the surfaced analysis honest while the user is dark: the
       // stale estimate stays visible but flagged Lost.
-      const auto it = latest_.find(user);
-      if (it != latest_.end()) it->second.health = SignalHealth::Lost;
+      if (const common::SlabHandle* handle = latest_.find(user))
+        latest_arena_.at(*handle).health = SignalHealth::Lost;
       continue;
     }
 
-    UserAnalysis analysis =
-        ticks[i].analyse ? std::move(results[i]) : latest_[user];
+    UserAnalysis analysis;
+    if (ticks[i].analyse) {
+      analysis = std::move(results[i]);
+    } else if (const common::SlabHandle* handle = latest_.find(user)) {
+      analysis = latest_arena_.at(*handle);
+    }
     if (ticks[i].analyse) last_seen_reads_[user] = ticks[i].reads_seen;
     state.health = analysis.health;
     if (!analysis.rate.crossings.empty())
@@ -371,8 +412,18 @@ void RealtimePipeline::run_update(double time_s) {
                              analysis.health == SignalHealth::Ok,
                          analysis.health});
     }
-    latest_[user] = std::move(analysis);
+    common::SlabHandle& handle = latest_[user];
+    if (UserAnalysis* slot = latest_arena_.get(handle))
+      *slot = std::move(analysis);
+    else
+      handle = latest_arena_.emplace(std::move(analysis));
   }
+}
+
+std::size_t RealtimePipeline::footprint_bytes() const noexcept {
+  return demux_.footprint_bytes() + user_state_.table_bytes() +
+         latest_.table_bytes() + last_seen_reads_.table_bytes() +
+         latest_arena_.bytes_reserved();
 }
 
 }  // namespace tagbreathe::core

@@ -9,13 +9,15 @@
 // (blocked line of sight, out of range).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "common/flat_map.hpp"
+#include "common/slab_arena.hpp"
 #include "core/analysis_pool.hpp"
 #include "core/demux.hpp"
 #include "core/monitor.hpp"
@@ -143,9 +145,26 @@ class RealtimePipeline {
   /// read. Without this, the grid anchors to each shard's first push.
   void start_at(double t0);
 
-  /// Most recent analysis per user (empty before warm-up).
-  const std::map<std::uint64_t, UserAnalysis>& latest() const noexcept {
-    return latest_;
+  /// Most recent analysis of one user; null before warm-up or for
+  /// unknown users. The pointer stays valid until the user's next
+  /// analysis, eviction, or an import (slab slots never move).
+  const UserAnalysis* latest_analysis(std::uint64_t user_id) const noexcept {
+    const common::SlabHandle* handle = latest_.find(user_id);
+    return handle == nullptr ? nullptr : latest_arena_.get(*handle);
+  }
+  /// Users with a cached analysis (0 before warm-up).
+  std::size_t latest_size() const noexcept { return latest_.size(); }
+  /// Visits (user_id, analysis) ascending by user id — the explicit
+  /// ordering contract (ISSUE 10) that replaces iterating the std::map
+  /// `latest()` used to expose. Dashboards and renderers that show all
+  /// users go through this so their output order cannot depend on the
+  /// registry's hash layout.
+  template <typename F>
+  void for_each_latest_ordered(F&& fn) const {
+    latest_.for_each_ordered(
+        [&](const std::uint64_t& user, const common::SlabHandle& handle) {
+          fn(user, latest_arena_.at(handle));
+        });
   }
 
   /// Current signal condition of a user (Lost for unknown users).
@@ -192,10 +211,31 @@ class RealtimePipeline {
   void import_state(PipelineState state);
 
   /// Registers pipeline instruments (update cadence, analysis fan-out,
-  /// event counts by kind, tracked-user occupancy) on `hub` and forwards
-  /// the bind to the wrapped monitor and demux. Registration may
-  /// allocate; the instrumented push/update path does not.
+  /// event counts by kind, tracked-user occupancy, capacity_* gauges)
+  /// on `hub` and forwards the bind to the wrapped monitor and demux.
+  /// Registration may allocate; the instrumented push/update path does
+  /// not.
   void bind_observability(obs::Observability& hub);
+
+  // --- capacity accounting (ISSUE 10) --------------------------------------
+  /// Resident bytes attributable to per-user state: demux streams and
+  /// registry, tracking/analysis registries, and the analysis arena.
+  /// O(streams); call at tick cadence, not per read.
+  std::size_t footprint_bytes() const noexcept;
+  /// Live / reserved occupancy of the latest-analysis arena.
+  double arena_occupancy() const noexcept { return latest_arena_.occupancy(); }
+  /// Free-list reuses across the pipeline's arenas (churn served
+  /// without an allocation).
+  std::size_t arena_reuses() const noexcept {
+    return latest_arena_.reuses() + demux_.arena_reuses();
+  }
+  /// Longest probe chain across the pipeline's flat registries.
+  std::size_t registry_max_probe() const noexcept {
+    return std::max({user_state_.max_probe_length(),
+                     latest_.max_probe_length(),
+                     last_seen_reads_.max_probe_length(),
+                     demux_.registry_max_probe()});
+  }
 
  private:
   void update(double time_s);
@@ -220,8 +260,12 @@ class RealtimePipeline {
     bool ever_reliable = false;
     SignalHealth health = SignalHealth::Lost;
   };
-  std::map<std::uint64_t, UserState> user_state_;
-  std::map<std::uint64_t, UserAnalysis> latest_;
+  common::FlatUserMap<UserState> user_state_;
+  /// Latest analyses live in a slab arena; the registry maps user id to
+  /// a generation-tagged handle (8 B), so registry churn never moves an
+  /// analysis and eviction recycles slots instead of freeing them.
+  common::FlatUserMap<common::SlabHandle> latest_;
+  common::SlabArena<UserAnalysis> latest_arena_;
   std::size_t users_evicted_ = 0;
 
   /// Parallel analysis engine (null when analysis_threads == 0) and the
@@ -230,7 +274,7 @@ class RealtimePipeline {
   std::vector<AnalysisScratch> scratch_;
   /// Dirty-window tracking: demux read count at each user's last
   /// analysis (see StreamDemux::reads_seen).
-  std::map<std::uint64_t, std::uint64_t> last_seen_reads_;
+  common::FlatUserMap<std::uint64_t> last_seen_reads_;
   std::size_t analyses_run_ = 0;
   std::size_t analyses_skipped_ = 0;
 
@@ -247,6 +291,9 @@ class RealtimePipeline {
     obs::Gauge* tracked = nullptr;
     obs::Histogram* update_seconds = nullptr;
     obs::Histogram* fanout = nullptr;
+    obs::Gauge* bytes_per_user = nullptr;
+    obs::Gauge* arena_occupancy = nullptr;
+    obs::Histogram* probe_length = nullptr;
     std::uint16_t trace_stage = 0;
   } obs_;
 };

@@ -147,9 +147,9 @@ ReaderHealth ReaderFleet::reader_health(std::size_t reader) const {
 
 std::optional<std::size_t> ReaderFleet::covering_reader(
     std::uint64_t user_id) const {
-  const auto it = coverage_.find(user_id);
-  if (it == coverage_.end()) return std::nullopt;
-  return it->second;
+  const std::size_t* reader = coverage_.find(user_id);
+  if (reader == nullptr) return std::nullopt;
+  return *reader;
 }
 
 std::size_t ReaderFleet::pending_rebalances() const noexcept {
@@ -182,13 +182,12 @@ const core::RealtimePipeline& ReaderFleet::shard_pipeline(
 }
 
 void ReaderFleet::set_coverage(std::uint64_t user, std::size_t reader) {
-  const auto it = coverage_.find(user);
-  if (it != coverage_.end()) {
-    if (it->second == reader) return;
-    --readers_[it->second].users_assigned;
-    it->second = reader;
+  if (std::size_t* covering = coverage_.find(user)) {
+    if (*covering == reader) return;
+    --readers_[*covering].users_assigned;
+    *covering = reader;
   } else {
-    coverage_.emplace(user, reader);
+    coverage_[user] = reader;
   }
   ++readers_[reader].users_assigned;
 }
@@ -205,51 +204,47 @@ void ReaderFleet::on_reader_dead(std::size_t reader, double now_s) {
   ReaderSlot& slot = readers_[reader];
   slot.health = ReaderHealth::Dead;
   ++counters_.readers_died;
-  // Queue every covered user for reassignment (emplace keeps the
-  // original queue time if the user is already pending — a cascading
-  // second death must not reset its deadline clock).
-  for (const auto& [user, covering] : coverage_) {
-    if (covering == reader) pending_rebalance_.emplace(user, now_s);
-  }
+  // Queue every covered user for reassignment, keeping the original
+  // queue time if the user is already pending — a cascading second
+  // death must not reset its deadline clock. Unordered sweep: insert
+  // order into the pending set is invisible (process_rebalances works
+  // off a sorted snapshot).
+  coverage_.for_each([this, reader, now_s](const std::uint64_t& user,
+                                           const std::size_t& covering) {
+    if (covering == reader && !pending_rebalance_.contains(user))
+      pending_rebalance_[user] = now_s;
+  });
   // Forget the dead reader's stream sources: the next read of each
   // stream — from whichever reader hears it — starts a fresh source
   // without tripping duplicate suppression.
-  for (auto it = sources_.begin(); it != sources_.end();) {
-    if (it->second.reader == reader)
-      it = sources_.erase(it);
-    else
-      ++it;
-  }
+  sources_.erase_if([reader](const core::StreamKey&, const StreamSource& src) {
+    return src.reader == reader;
+  });
 }
 
 void ReaderFleet::park_user(std::uint64_t user) {
   Shard& shard = shards_[shard_of(user)];
   if (config_.parked_users_cap > 0 && parked_.size() < config_.parked_users_cap &&
       shard.pipeline->tracks(user) && !parked_.contains(user)) {
-    parked_.emplace(user, shard.pipeline->export_user(user));
+    parked_[user] = shard.pipeline->export_user(user);
     ++counters_.users_parked;
   }
   shard.pipeline->forget_user(user);
-  const auto cov = coverage_.find(user);
-  if (cov != coverage_.end()) {
-    --readers_[cov->second].users_assigned;
-    coverage_.erase(cov);
+  if (const std::size_t* covering = coverage_.find(user)) {
+    --readers_[*covering].users_assigned;
+    coverage_.erase(user);
   }
-  for (auto it = sources_.begin(); it != sources_.end();) {
-    if (it->first.user_id == user)
-      it = sources_.erase(it);
-    else
-      ++it;
-  }
+  sources_.erase_if([user](const core::StreamKey& key, const StreamSource&) {
+    return key.user_id == user;
+  });
   pending_rebalance_.erase(user);
 }
 
 void ReaderFleet::restore_user(std::uint64_t user, double now_s) {
   Shard& shard = shards_[shard_of(user)];
-  const auto parked = parked_.find(user);
-  if (parked != parked_.end()) {
-    shard.pipeline->import_user(parked->second);
-    parked_.erase(parked);
+  if (const core::DemuxState* parked = parked_.find(user)) {
+    shard.pipeline->import_user(*parked);
+    parked_.erase(user);
     ++counters_.users_restored;
     return;
   }
@@ -324,8 +319,8 @@ void ReaderFleet::pump(double now_s) {
     // reader covers the user: park its window so a later re-admission
     // or rebalance resumes warm.
     for (const std::uint64_t user : slot.validator->take_evicted_users()) {
-      const auto cov = coverage_.find(user);
-      if (cov != coverage_.end() && cov->second == r) park_user(user);
+      const std::size_t* covering = coverage_.find(user);
+      if (covering != nullptr && *covering == r) park_user(user);
     }
   }
 
@@ -339,14 +334,14 @@ void ReaderFleet::pump(double now_s) {
   for (const AdmittedRead& ar : admitted_scratch_) {
     const std::uint64_t user = ar.read.epc.user_id();
     const core::StreamKey key{user, ar.read.epc.tag_id(), ar.read.antenna_id};
-    const auto src = sources_.find(key);
-    if (src == sources_.end()) {
-      sources_.emplace(key, StreamSource{ar.reader, ar.read.time_s});
-      const auto cov = coverage_.find(user);
-      if (cov == coverage_.end()) {
+    StreamSource* src = sources_.find(key);
+    if (src == nullptr) {
+      sources_[key] = StreamSource{ar.reader, ar.read.time_s};
+      const std::size_t* cov = coverage_.find(user);
+      if (cov == nullptr) {
         set_coverage(user, ar.reader);
-      } else if (cov->second != ar.reader &&
-                 readers_[cov->second].health == ReaderHealth::Dead) {
+      } else if (*cov != ar.reader &&
+                 readers_[*cov].health == ReaderHealth::Dead) {
         // Organic failover: the covering reader died (its sources were
         // forgotten) and another reader picked the tag up before the
         // rebalancer got to it.
@@ -354,29 +349,27 @@ void ReaderFleet::pump(double now_s) {
         ++counters_.handoffs;
         pending_rebalance_.erase(user);
       }
-    } else if (src->second.reader != ar.reader) {
-      if (ar.read.time_s - src->second.last_time_s <
-          config_.handoff_suppress_s) {
+    } else if (src->reader != ar.reader) {
+      if (ar.read.time_s - src->last_time_s < config_.handoff_suppress_s) {
         // Overlap duplicate: both readers heard one inventory round.
         ++counters_.handoff_suppressed;
         continue;
       }
-      const std::size_t old_reader = src->second.reader;
-      src->second.reader = ar.reader;
-      src->second.last_time_s = ar.read.time_s;
+      const std::size_t old_reader = src->reader;
+      src->reader = ar.reader;
+      src->last_time_s = ar.read.time_s;
       ++counters_.handoffs;
-      const auto cov = coverage_.find(user);
-      if (cov == coverage_.end() || cov->second == old_reader)
+      const std::size_t* cov = coverage_.find(user);
+      if (cov == nullptr || *cov == old_reader)
         set_coverage(user, ar.reader);
       pending_rebalance_.erase(user);
     } else {
-      src->second.last_time_s = ar.read.time_s;
+      src->last_time_s = ar.read.time_s;
     }
     if (!parked_.empty()) {
-      const auto parked = parked_.find(user);
-      if (parked != parked_.end()) {
-        shards_[shard_of(user)].pipeline->import_user(parked->second);
-        parked_.erase(parked);
+      if (const core::DemuxState* parked = parked_.find(user)) {
+        shards_[shard_of(user)].pipeline->import_user(*parked);
+        parked_.erase(user);
         ++counters_.users_restored;
       }
     }
@@ -408,19 +401,22 @@ void ReaderFleet::pump(double now_s) {
 void ReaderFleet::process_rebalances(double now_s) {
   if (pending_rebalance_.empty()) return;
   std::size_t moved = 0;
-  auto it = pending_rebalance_.begin();
-  while (it != pending_rebalance_.end() && moved < config_.rebalance_batch) {
-    const std::uint64_t user = it->first;
-    const double queued_at = it->second;
-    const auto cov = coverage_.find(user);
-    if (cov == coverage_.end()) {
+  // Sorted snapshot (for_each_ordered contract): the backlog drains in
+  // ascending user order, and the per-pump batch bound makes that order
+  // output-visible — WHICH users move this pump decides which shards
+  // re-admit them — so the order must not depend on table layout.
+  for (const std::uint64_t user : pending_rebalance_.sorted_keys()) {
+    if (moved >= config_.rebalance_batch) break;
+    const double queued_at = *pending_rebalance_.find(user);
+    const std::size_t* cov = coverage_.find(user);
+    if (cov == nullptr) {
       // User dropped (eviction) while queued — nothing left to move.
-      it = pending_rebalance_.erase(it);
+      pending_rebalance_.erase(user);
       continue;
     }
-    if (readers_[cov->second].health != ReaderHealth::Dead) {
+    if (readers_[*cov].health != ReaderHealth::Dead) {
       // Covering reader revived (or the user handed off organically).
-      it = pending_rebalance_.erase(it);
+      pending_rebalance_.erase(user);
       continue;
     }
     // Least-loaded live reader, ties to the lowest index.
@@ -439,7 +435,7 @@ void ReaderFleet::process_rebalances(double now_s) {
       restore_user(user, now_s);
     ++counters_.users_rebalanced;
     ++moved;
-    it = pending_rebalance_.erase(it);
+    pending_rebalance_.erase(user);
   }
   if (moved > 0) ++counters_.rebalances;
 }

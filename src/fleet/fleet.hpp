@@ -43,12 +43,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "core/ingest.hpp"
 #include "core/journal.hpp"
 #include "core/pipeline.hpp"
@@ -238,13 +238,17 @@ class ReaderFleet {
   std::vector<ReaderSlot> readers_;
   std::vector<Shard> shards_;
   /// user -> covering reader (authoritative census for rebalancing).
-  std::map<std::uint64_t, std::size_t> coverage_;
+  /// Flat registries (ISSUE 10): one entry per user / per stream, hit
+  /// on every admitted read. Every output-reaching traversal goes
+  /// through sorted_keys (process_rebalances); the rest is point
+  /// lookups and order-free sweeps.
+  common::FlatUserMap<std::size_t> coverage_;
   /// Live stream sources for duplicate suppression / handoff.
-  std::map<core::StreamKey, StreamSource> sources_;
+  common::FlatMap<core::StreamKey, StreamSource, core::StreamKeyHash> sources_;
   /// Exported demux states of evicted users awaiting re-admission.
-  std::map<std::uint64_t, core::DemuxState> parked_;
+  common::FlatUserMap<core::DemuxState> parked_;
   /// user -> stream time it was queued for reassignment.
-  std::map<std::uint64_t, double> pending_rebalance_;
+  common::FlatUserMap<double> pending_rebalance_;
   FleetCounters counters_;
   bool started_ = false;  // shard update grids pinned
 

@@ -2,11 +2,11 @@
 
 #include <cmath>
 #include <limits>
-#include <map>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
 
+#include "common/flat_map.hpp"
 #include "common/units.hpp"
 #include "signal/simd/kernels.hpp"
 
@@ -73,15 +73,25 @@ namespace {
 // guards against pathological workloads with unbounded size diversity.
 constexpr std::size_t kMaxCachedPlans = 128;
 
-using PlanKey = std::pair<std::size_t, std::uint8_t>;
+// Packed (size, direction) key: direction in bit 0, size above it. Keys
+// are small and dense, so the flat map (ISSUE 10) serves the per-tick
+// lookups with one hash and a short scan instead of a tree walk. All
+// access stays under plan_cache_mutex — test_capacity races lookups
+// under TSan to pin that.
+using PlanKey = std::uint64_t;
+
+inline PlanKey plan_key(std::size_t n, FftDirection dir) noexcept {
+  return (static_cast<PlanKey>(n) << 1) |
+         static_cast<PlanKey>(dir == FftDirection::Inverse ? 1 : 0);
+}
 
 std::mutex& plan_cache_mutex() {
   static std::mutex m;
   return m;
 }
 
-std::map<PlanKey, std::shared_ptr<const FftPlan>>& plan_cache() {
-  static std::map<PlanKey, std::shared_ptr<const FftPlan>> cache;
+common::FlatMap<PlanKey, std::shared_ptr<const FftPlan>>& plan_cache() {
+  static common::FlatMap<PlanKey, std::shared_ptr<const FftPlan>> cache;
   return cache;
 }
 
@@ -199,11 +209,10 @@ void FftPlan::execute(std::span<const cdouble> in, std::span<cdouble> out,
 }
 
 std::shared_ptr<const FftPlan> FftPlan::get(std::size_t n, FftDirection dir) {
-  const PlanKey key{n, static_cast<std::uint8_t>(dir)};
+  const PlanKey key = plan_key(n, dir);
   {
     std::lock_guard<std::mutex> lock(plan_cache_mutex());
-    const auto it = plan_cache().find(key);
-    if (it != plan_cache().end()) return it->second;
+    if (const auto* hit = plan_cache().find(key)) return *hit;
   }
   // Build outside the lock: Bluestein construction recursively fetches
   // the inner pow2 plans, and plan building is idempotent, so a racing
@@ -211,9 +220,8 @@ std::shared_ptr<const FftPlan> FftPlan::get(std::size_t n, FftDirection dir) {
   std::shared_ptr<const FftPlan> plan(new FftPlan(n, dir));
   std::lock_guard<std::mutex> lock(plan_cache_mutex());
   auto& cache = plan_cache();
-  const auto it = cache.find(key);
-  if (it != cache.end()) return it->second;  // another thread won the race
-  if (cache.size() < kMaxCachedPlans) cache.emplace(key, plan);
+  if (const auto* hit = cache.find(key)) return *hit;  // racing build won
+  if (cache.size() < kMaxCachedPlans) cache[key] = plan;
   return plan;
 }
 
@@ -237,8 +245,10 @@ std::mutex& real_plan_cache_mutex() {
   return m;
 }
 
-std::map<std::size_t, std::shared_ptr<const RealFftPlan>>& real_plan_cache() {
-  static std::map<std::size_t, std::shared_ptr<const RealFftPlan>> cache;
+common::FlatMap<std::uint64_t, std::shared_ptr<const RealFftPlan>>&
+real_plan_cache() {
+  static common::FlatMap<std::uint64_t, std::shared_ptr<const RealFftPlan>>
+      cache;
   return cache;
 }
 
@@ -300,15 +310,13 @@ void RealFftPlan::execute(std::span<const double> in, std::span<cdouble> out,
 std::shared_ptr<const RealFftPlan> RealFftPlan::get(std::size_t n) {
   {
     std::lock_guard<std::mutex> lock(real_plan_cache_mutex());
-    const auto it = real_plan_cache().find(n);
-    if (it != real_plan_cache().end()) return it->second;
+    if (const auto* hit = real_plan_cache().find(n)) return *hit;
   }
   std::shared_ptr<const RealFftPlan> plan(new RealFftPlan(n));
   std::lock_guard<std::mutex> lock(real_plan_cache_mutex());
   auto& cache = real_plan_cache();
-  const auto it = cache.find(n);
-  if (it != cache.end()) return it->second;
-  if (cache.size() < kMaxCachedPlans) cache.emplace(n, plan);
+  if (const auto* hit = cache.find(n)) return *hit;
+  if (cache.size() < kMaxCachedPlans) cache[n] = plan;
   return plan;
 }
 

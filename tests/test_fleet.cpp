@@ -505,6 +505,76 @@ TEST(ReaderFleet, ValidatorEvictionParksAndRestoresTheUser) {
   ASSERT_TRUE(fleet.covering_reader(1).has_value());
 }
 
+TEST(ReaderFleet, ParkRestoreChurnConvergesWithUninterruptedGoldenRun) {
+  // A breathing-phase schedule for user 1 with a mid-run burst from
+  // user 2. Under a 1-user admission cap the burst parks user 1's demux
+  // window in the arena-backed lot and the next user-1 read restores
+  // it; a golden fleet with no cap never parks anyone. Because parking
+  // preserves the full buffered window, the restored run must converge:
+  // the same RateUpdate values on the shared tick grid and the same
+  // final analysis, byte for byte.
+  auto breath_read = [](double t, std::uint64_t user) {
+    core::TagRead r;
+    r.time_s = t;
+    r.epc = rfid::Epc96::from_user_tag(user, 1);
+    r.antenna_id = 1;
+    r.frequency_hz = 920.625e6;
+    r.phase_rad = 0.5 * std::sin(2.0 * 3.14159265358979 * t / 4.0);
+    return r;
+  };
+
+  struct RunResult {
+    std::vector<std::pair<double, double>> tail_rates;  // (tick, bpm), t>=14
+    double final_rate = 0.0;
+    std::size_t parked = 0;
+    std::size_t restored = 0;
+  };
+  auto run = [&](std::size_t admission_cap) {
+    FleetConfig fc = fast_fleet(1, 1);
+    fc.ingest.max_users = admission_cap;
+    RunResult result;
+    ReaderFleet fleet(fc, [&](const FleetEvent& e) {
+      if (e.event.user_id == 1 &&
+          e.event.kind == core::PipelineEventKind::RateUpdate &&
+          e.event.time_s >= 14.0) {
+        result.tail_rates.emplace_back(e.event.time_s, e.event.rate_bpm);
+      }
+    });
+    for (double t = 0.0; t <= 24.0; t += 0.25) {
+      const bool burst = t >= 10.0 && t < 11.5;
+      fleet.offer(0, breath_read(t, burst ? 2 : 1));
+      fleet.pump(t);
+    }
+    const core::UserAnalysis* final_analysis =
+        fleet.shard_pipeline(0).latest_analysis(1);
+    EXPECT_NE(final_analysis, nullptr);
+    if (final_analysis != nullptr) {
+      result.final_rate = final_analysis->rate.rate_bpm;
+    }
+    result.parked = fleet.counters().users_parked;
+    result.restored = fleet.counters().users_restored;
+    return result;
+  };
+
+  const RunResult golden = run(/*admission_cap=*/0);
+  const RunResult pressure = run(/*admission_cap=*/1);
+
+  EXPECT_EQ(golden.parked, 0u);
+  EXPECT_GE(pressure.parked, 2u);    // user 1 at the burst, user 2 after it
+  EXPECT_GE(pressure.restored, 1u);  // user 1's window came back from the lot
+
+  ASSERT_FALSE(golden.tail_rates.empty());
+  ASSERT_EQ(pressure.tail_rates.size(), golden.tail_rates.size());
+  for (std::size_t i = 0; i < golden.tail_rates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pressure.tail_rates[i].first, golden.tail_rates[i].first);
+    EXPECT_DOUBLE_EQ(pressure.tail_rates[i].second,
+                     golden.tail_rates[i].second)
+        << "restored window diverged from golden at t="
+        << golden.tail_rates[i].first;
+  }
+  EXPECT_DOUBLE_EQ(pressure.final_rate, golden.final_rate);
+}
+
 TEST(ReaderFleet, RebalanceReplaysJournalTailWhenShardStateWasLost) {
   TempDir dir("fleet_replay");
   FleetConfig fc = fast_fleet(2, 1);

@@ -326,12 +326,10 @@ SampledRun run_monitored(const FaultPlan& faults, double duration_s) {
     session.advance(1.0);
     pipeline.advance_to(session.now_s());
     if (step + 1 < 16) continue;  // pipeline warm-up
-    const auto it = pipeline.latest().find(1);
-    const bool ok = it != pipeline.latest().end() &&
-                    it->second.health == core::SignalHealth::Ok &&
-                    it->second.rate.reliable;
-    out.rate_bpm.push_back(
-        it == pipeline.latest().end() ? 0.0 : it->second.rate.rate_bpm);
+    const core::UserAnalysis* a = pipeline.latest_analysis(1);
+    const bool ok = a != nullptr && a->health == core::SignalHealth::Ok &&
+                    a->rate.reliable;
+    out.rate_bpm.push_back(a == nullptr ? 0.0 : a->rate.rate_bpm);
     out.healthy.push_back(ok ? 1 : 0);
     if (!ok) ++out.flagged;
   }
